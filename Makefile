@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build test bench figures figures-quick verify examples clean
+
+all: build test
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation at full fidelity (5 trials) with
+# CSV and SVG artifacts under figures-out/.
+figures:
+	go run ./cmd/figures -csv -svg -chart=false -out figures-out
+
+figures-quick:
+	go run ./cmd/figures -quick
+
+# Regression-check figures against the committed reference CSVs.
+verify:
+	go run ./cmd/figures -verify -out figures-out
+
+examples:
+	go run ./examples/quickstart
+	go run ./examples/strategycompare
+	go run ./examples/capacityplanning
+	go run ./examples/externalsort
+	go run ./examples/sortpipeline
+
+clean:
+	rm -rf figures-out-tmp

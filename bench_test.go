@@ -1,0 +1,198 @@
+// Package repro's benchmark harness regenerates every figure of the
+// paper's evaluation (§3) under `go test -bench`. Each BenchmarkFigXX
+// runs the corresponding experiment generator; per-iteration wall time
+// is the cost of regenerating that panel. The reported custom metrics
+// surface the headline simulated quantities so bench output alone tells
+// the paper's story:
+//
+//	sim-seconds   simulated merge time of the panel's reference point
+//	overlap       average number of concurrently busy disks
+//	success       prefetch success ratio
+//
+// Micro-benchmarks for the substrates (kernel, disk, cache, loser tree)
+// follow the figure benches.
+package repro
+
+import (
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/experiments"
+	"repro/internal/extsort"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// benchOpts keeps figure regeneration affordable under -bench: one
+// trial, coarse grids. Full-fidelity regeneration is cmd/figures.
+func benchOpts() experiments.Options {
+	return experiments.Options{Trials: 1, Seed: 1, Quick: true}
+}
+
+// runFigure benchmarks one experiment generator.
+func runFigure(b *testing.B, id string) {
+	b.Helper()
+	spec, err := experiments.Find(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Run(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig32a(b *testing.B) { runFigure(b, "3.2a") }
+func BenchmarkFig32b(b *testing.B) { runFigure(b, "3.2b") }
+func BenchmarkFig32c(b *testing.B) { runFigure(b, "3.2c") }
+func BenchmarkFig33(b *testing.B)  { runFigure(b, "3.3") }
+
+// Figures 3.5 and 3.6 are produced by the same cache sweep.
+func BenchmarkFig35aFig36a(b *testing.B) { runFigure(b, "3.5a") }
+func BenchmarkFig35bFig36b(b *testing.B) { runFigure(b, "3.5b") }
+func BenchmarkFig35cFig36c(b *testing.B) { runFigure(b, "3.5c") }
+
+func BenchmarkAnchorValidation(b *testing.B)  { runFigure(b, "anchors") }
+func BenchmarkUrnConcurrency(b *testing.B)    { runFigure(b, "concurrency") }
+func BenchmarkAblationAdmission(b *testing.B) { runFigure(b, "ablation-admission") }
+func BenchmarkAblationRunChoice(b *testing.B) { runFigure(b, "ablation-runchoice") }
+func BenchmarkAblationRotation(b *testing.B)  { runFigure(b, "ablation-rotation") }
+func BenchmarkAblationPlacement(b *testing.B) { runFigure(b, "ablation-placement") }
+func BenchmarkAblationScheduler(b *testing.B) { runFigure(b, "ablation-scheduler") }
+func BenchmarkAblationSeekModel(b *testing.B) { runFigure(b, "ablation-seekmodel") }
+func BenchmarkExtWriteTraffic(b *testing.B)   { runFigure(b, "ext-write-traffic") }
+func BenchmarkExtMultiPass(b *testing.B)      { runFigure(b, "ext-multipass") }
+func BenchmarkTRMarkov(b *testing.B)          { runFigure(b, "tr-markov") }
+func BenchmarkExtRealTrace(b *testing.B)      { runFigure(b, "ext-realtrace") }
+func BenchmarkExtAdaptiveN(b *testing.B)      { runFigure(b, "ext-adaptive-n") }
+func BenchmarkExtK100(b *testing.B)           { runFigure(b, "ext-k100") }
+func BenchmarkExtModernDisk(b *testing.B)     { runFigure(b, "ext-modern-disk") }
+
+// benchStrategy times one full simulated merge at the paper's headline
+// shape and reports the simulated quantities as custom metrics.
+func benchStrategy(b *testing.B, n int, inter, sync bool) {
+	b.Helper()
+	cfg := core.Default()
+	cfg.N = n
+	cfg.InterRun = inter
+	cfg.Synchronized = sync
+	if inter {
+		cfg.CacheBlocks = cache.Unlimited
+	} else {
+		cfg.CacheBlocks = cfg.DefaultCache()
+	}
+	var last core.Result
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.TotalTime.Seconds(), "sim-seconds")
+	b.ReportMetric(last.MeanConcurrencyWhenBusy, "overlap")
+	b.ReportMetric(last.SuccessRatio(), "success")
+}
+
+func BenchmarkMergeNoPrefetch(b *testing.B)  { benchStrategy(b, 1, false, false) }
+func BenchmarkMergeIntraUnsync(b *testing.B) { benchStrategy(b, 10, false, false) }
+func BenchmarkMergeIntraSync(b *testing.B)   { benchStrategy(b, 10, false, true) }
+func BenchmarkMergeInterUnsync(b *testing.B) { benchStrategy(b, 10, true, false) }
+func BenchmarkMergeInterSync(b *testing.B)   { benchStrategy(b, 10, true, true) }
+
+// BenchmarkKernelEvents measures raw event throughput of the DES
+// substrate.
+func BenchmarkKernelEvents(b *testing.B) {
+	k := sim.New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(1, tick)
+		}
+	}
+	k.After(1, tick)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernelProcessSwitch measures the process handoff cost.
+func BenchmarkKernelProcessSwitch(b *testing.B) {
+	k := sim.New()
+	k.Spawn("p", func(p *sim.Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkDiskRequest measures single-block request service overhead.
+func BenchmarkDiskRequest(b *testing.B) {
+	k := sim.New()
+	d, err := disk.New(k, 0, disk.PaperParams(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		d.Submit(&disk.Request{Start: (i * 37) % 1000, Count: 1})
+	}
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkCacheOps measures the reserve/deposit/consume cycle.
+func BenchmarkCacheOps(b *testing.B) {
+	c, err := cache.New(1024, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if !c.Reserve(1) {
+			b.Fatal("reserve failed")
+		}
+		c.Deposit(0, i)
+		c.Consume(0)
+	}
+}
+
+// BenchmarkLoserTreeMerge measures the real k-way record merge.
+func BenchmarkLoserTreeMerge(b *testing.B) {
+	cfg := extsort.Config{RecordSize: 8, BlockSize: 4096, MemoryBlocks: 8, Formation: extsort.LoadSort}
+	r := rng.New(3)
+	const records = 64 * 1024
+	data := make([]byte, records*8)
+	for i := 0; i < len(data); i += 8 {
+		binary.BigEndian.PutUint64(data[i:], r.Uint64())
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in, err := extsort.NewSliceReader(data, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store := extsort.NewMemStore()
+		if _, err := extsort.FormRuns(cfg, in, store); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := extsort.Merge(cfg, store, discardWriter{}, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(rec []byte) error { _, _ = io.Discard.Write(rec); return nil }

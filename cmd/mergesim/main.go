@@ -1,0 +1,279 @@
+// Command mergesim simulates one merge configuration and reports its
+// metrics, including the closed-form predictions where they apply.
+//
+// Example: the paper's headline comparison at k=25, D=5, N=10:
+//
+//	mergesim -k 25 -d 5 -n 10                 # intra-run, unsynchronized
+//	mergesim -k 25 -d 5 -n 10 -inter          # + inter-run prefetching
+//	mergesim -k 25 -d 5 -n 10 -inter -sync    # synchronized variant
+//	mergesim -k 25 -d 5 -n 10 -inter -cache 500 -trials 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/sim"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		k         = flag.Int("k", 25, "number of sorted runs")
+		d         = flag.Int("d", 5, "number of input disks")
+		n         = flag.Int("n", 1, "intra-run prefetch depth N")
+		blocks    = flag.Int("blocks", 1000, "blocks per run")
+		inter     = flag.Bool("inter", false, "enable inter-run prefetching (all disks one run)")
+		sync      = flag.Bool("sync", false, "synchronized prefetching (CPU waits for whole batch)")
+		cacheSize = flag.Int("cache", 0, "cache size in blocks (0 = natural size; -1 = unlimited)")
+		mergeMs   = flag.Float64("merge-ms", 0, "CPU time to merge one block, in ms (0 = infinitely fast)")
+		trials    = flag.Int("trials", 1, "independent trials")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		greedy    = flag.Bool("greedy", false, "greedy cache admission instead of all-or-demand")
+		schedule  = flag.String("schedule", "fcfs", "disk queue discipline: fcfs, sstf, scan")
+		placement = flag.String("placement", "round-robin", "run placement: round-robin, clustered, striped")
+		verbose   = flag.Bool("v", false, "print per-disk statistics")
+		ganttMs   = flag.Float64("gantt-ms", 0, "render a disk-busy Gantt chart for the first N ms of trial 1")
+		jsonOut   = flag.Bool("json", false, "emit results as JSON instead of text")
+		reqLog    = flag.String("reqlog", "", "write a JSONL log of every disk request (trial 1) to this file")
+	)
+	flag.Parse()
+
+	cfg := core.Default()
+	cfg.K = *k
+	cfg.D = *d
+	cfg.N = *n
+	cfg.BlocksPerRun = *blocks
+	cfg.InterRun = *inter
+	cfg.Synchronized = *sync
+	cfg.MergeTimePerBlock = sim.Ms(*mergeMs)
+	cfg.Seed = *seed
+	switch *cacheSize {
+	case 0:
+		cfg.CacheBlocks = cfg.DefaultCache()
+	case -1:
+		cfg.CacheBlocks = cache.Unlimited
+	default:
+		cfg.CacheBlocks = *cacheSize
+	}
+	if *greedy {
+		cfg.Admission = cache.Greedy
+	}
+	switch *schedule {
+	case "fcfs":
+		cfg.Disk.Discipline = disk.FCFS
+	case "sstf":
+		cfg.Disk.Discipline = disk.SSTF
+	case "scan":
+		cfg.Disk.Discipline = disk.SCAN
+	default:
+		fatal(fmt.Errorf("unknown discipline %q", *schedule))
+	}
+	switch *placement {
+	case "round-robin":
+		cfg.Placement = layout.RoundRobin
+	case "clustered":
+		cfg.Placement = layout.Clustered
+	case "striped":
+		cfg.Placement = layout.Striped
+	default:
+		fatal(fmt.Errorf("unknown placement %q", *placement))
+	}
+
+	cfg.RecordTimeline = *ganttMs > 0
+	var logFile *os.File
+	if *reqLog != "" {
+		var err error
+		logFile, err = os.Create(*reqLog)
+		if err != nil {
+			fatal(err)
+		}
+		defer logFile.Close()
+		enc := json.NewEncoder(logFile)
+		cfg.OnRequest = func(tr disk.RequestTrace) {
+			if err := enc.Encode(tr); err != nil {
+				fatal(err)
+			}
+		}
+		if *trials > 1 {
+			fmt.Fprintln(os.Stderr, "mergesim: -reqlog forces a single trial")
+			*trials = 1
+		}
+	}
+	agg, err := core.RunTrials(cfg, *trials)
+	if err != nil {
+		fatal(err)
+	}
+	if logFile != nil {
+		fmt.Fprintf(os.Stderr, "request log written to %s\n", *reqLog)
+	}
+
+	if *jsonOut {
+		emitJSON(cfg, agg)
+		return
+	}
+
+	fmt.Printf("strategy       %s\n", cfg.StrategyName())
+	fmt.Printf("shape          k=%d runs x %d blocks, D=%d disks, N=%d, cache=%s\n",
+		cfg.K, cfg.BlocksPerRun, cfg.D, cfg.N, cacheStr(cfg.CacheBlocks))
+	fmt.Printf("total time     %.3f s", agg.TotalTime.Mean())
+	if *trials > 1 {
+		fmt.Printf("  (±%.3f over %d trials)", agg.TotalTime.CI95(), *trials)
+	}
+	fmt.Println()
+	fmt.Printf("success ratio  %.4f\n", agg.SuccessRatio.Mean())
+	fmt.Printf("disk overlap   %.3f busy disks (given any busy)\n", agg.Concurrency.Mean())
+	fmt.Printf("cpu stall      %.3f s\n", agg.StallTime.Mean())
+
+	printPredictions(cfg)
+
+	if *verbose {
+		res := agg.Results[0]
+		fmt.Println("\nper-disk (trial 1):")
+		for i, ds := range res.PerDisk {
+			fmt.Printf("  disk %d: %d reqs, %d blocks, busy %.2fs, mean seek %.1f cyl, peak queue %d\n",
+				i, ds.Requests, ds.Blocks, ds.BusyTime.Seconds(), ds.MeanSeekDistance(), ds.MaxQueueLen)
+		}
+		fmt.Printf("  cache peak occupancy: %d blocks\n", res.CachePeak)
+	}
+
+	if *ganttMs > 0 {
+		res := agg.Results[0]
+		fmt.Printf("\ndisk busy timeline, first %.0f ms (trial 1):\n", *ganttMs)
+		var rows []table.GanttRow
+		for i, ivs := range res.Timeline {
+			label := fmt.Sprintf("disk %d", i)
+			if i >= cfg.D {
+				label = fmt.Sprintf("write %d", i-cfg.D)
+			}
+			row := table.GanttRow{Label: label}
+			for _, iv := range ivs {
+				row.Intervals = append(row.Intervals,
+					[2]float64{iv.Start.Milliseconds(), iv.End.Milliseconds()})
+			}
+			rows = append(rows, row)
+		}
+		if err := table.WriteGantt(os.Stdout, rows, 0, *ganttMs, 80); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// emitJSON writes a machine-readable summary of the trials.
+func emitJSON(cfg core.Config, agg core.Aggregate) {
+	type diskJSON struct {
+		Requests    int64   `json:"requests"`
+		Blocks      int64   `json:"blocks"`
+		BusySeconds float64 `json:"busy_seconds"`
+		MeanSeekCyl float64 `json:"mean_seek_cylinders"`
+		MaxQueueLen int     `json:"max_queue_len"`
+	}
+	type trialJSON struct {
+		Seed          uint64     `json:"seed"`
+		TotalSeconds  float64    `json:"total_seconds"`
+		SuccessRatio  float64    `json:"success_ratio"`
+		Overlap       float64    `json:"mean_busy_disks"`
+		StallSeconds  float64    `json:"cpu_stall_seconds"`
+		StallP95Ms    float64    `json:"stall_p95_ms"`
+		MeanDepth     float64    `json:"mean_prefetch_depth"`
+		CachePeak     int64      `json:"cache_peak_blocks"`
+		MergedBlocks  int64      `json:"merged_blocks"`
+		WrittenBlocks int64      `json:"written_blocks,omitempty"`
+		Disks         []diskJSON `json:"disks"`
+	}
+	out := struct {
+		Strategy     string      `json:"strategy"`
+		K            int         `json:"k"`
+		D            int         `json:"d"`
+		N            int         `json:"n"`
+		BlocksPerRun int         `json:"blocks_per_run"`
+		CacheBlocks  int         `json:"cache_blocks"`
+		Trials       int         `json:"trials"`
+		MeanSeconds  float64     `json:"mean_total_seconds"`
+		CI95Seconds  float64     `json:"ci95_total_seconds"`
+		MeanSuccess  float64     `json:"mean_success_ratio"`
+		Results      []trialJSON `json:"results"`
+	}{
+		Strategy:     cfg.StrategyName(),
+		K:            cfg.K,
+		D:            cfg.D,
+		N:            cfg.N,
+		BlocksPerRun: cfg.BlocksPerRun,
+		CacheBlocks:  cfg.CacheBlocks,
+		Trials:       agg.Trials,
+		MeanSeconds:  agg.TotalTime.Mean(),
+		CI95Seconds:  agg.TotalTime.CI95(),
+		MeanSuccess:  agg.SuccessRatio.Mean(),
+	}
+	for _, r := range agg.Results {
+		tj := trialJSON{
+			Seed:          r.Config.Seed,
+			TotalSeconds:  r.TotalTime.Seconds(),
+			SuccessRatio:  r.SuccessRatio(),
+			Overlap:       r.MeanConcurrencyWhenBusy,
+			StallSeconds:  r.StallTime.Seconds(),
+			StallP95Ms:    r.StallP95().Milliseconds(),
+			MeanDepth:     r.MeanDepth,
+			CachePeak:     r.CachePeak,
+			MergedBlocks:  r.MergedBlocks,
+			WrittenBlocks: r.WrittenBlocks,
+		}
+		for _, d := range r.PerDisk {
+			tj.Disks = append(tj.Disks, diskJSON{
+				Requests:    d.Requests,
+				Blocks:      d.Blocks,
+				BusySeconds: d.BusyTime.Seconds(),
+				MeanSeekCyl: d.MeanSeekDistance(),
+				MaxQueueLen: d.MaxQueueLen,
+			})
+		}
+		out.Results = append(out.Results, tj)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
+	}
+}
+
+// printPredictions prints the applicable closed-form expression(s).
+func printPredictions(cfg core.Config) {
+	m := analysis.FromConfig(cfg.Disk, cfg.K, cfg.D, cfg.N, cfg.BlocksPerRun)
+	b := cfg.BlocksPerRun
+	switch {
+	case !cfg.InterRun && cfg.D == 1 && cfg.N == 1:
+		fmt.Printf("analytic       eq(1) predicts %.3f s\n", m.TotalTime(m.Eq1NoPrefetchSingleDisk(), b).Seconds())
+	case !cfg.InterRun && cfg.D == 1:
+		fmt.Printf("analytic       eq(2) predicts %.3f s\n", m.TotalTime(m.Eq2IntraSingleDisk(), b).Seconds())
+	case !cfg.InterRun && cfg.N == 1:
+		fmt.Printf("analytic       eq(3) predicts %.3f s\n", m.TotalTime(m.Eq3NoPrefetchMultiDisk(), b).Seconds())
+	case !cfg.InterRun && cfg.Synchronized:
+		fmt.Printf("analytic       eq(4) predicts %.3f s\n", m.TotalTime(m.Eq4IntraMultiDiskSync(), b).Seconds())
+	case !cfg.InterRun:
+		fmt.Printf("analytic       eq(4)/urn-game asymptote %.3f s (large N)\n",
+			m.IntraUnsyncAsymptotic(b).Seconds())
+	case cfg.Synchronized:
+		fmt.Printf("analytic       eq(5) predicts %.3f s (ample cache)\n", m.TotalTime(m.Eq5InterMultiDiskSync(), b).Seconds())
+	default:
+		fmt.Printf("analytic       lower bound kTB/D = %.3f s\n", m.MultiDiskFloor(b).Seconds())
+	}
+}
+
+func cacheStr(c int) string {
+	if c == cache.Unlimited {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d blocks", c)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mergesim:", err)
+	os.Exit(1)
+}

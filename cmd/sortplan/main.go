@@ -1,0 +1,112 @@
+// Command sortplan plans a full multi-pass external mergesort — run
+// formation plus one or more merge passes — for a given data size,
+// memory budget and disk count, and optionally validates each pass
+// against the simulator.
+//
+// Sizes accept block counts or byte suffixes (K, M, G at 1024 and the
+// paper's 4096-byte blocks):
+//
+//	sortplan -data 4G -memory 16M -d 5 -inter -simulate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/disk"
+	"repro/internal/plan"
+)
+
+func main() {
+	var (
+		data      = flag.String("data", "1G", "data size (blocks, or bytes with K/M/G suffix)")
+		memory    = flag.String("memory", "4M", "memory size (blocks, or bytes with K/M/G suffix)")
+		d         = flag.Int("d", 5, "input disks")
+		inter     = flag.Bool("inter", true, "use inter-run prefetching in merge passes")
+		simulate  = flag.Bool("simulate", false, "validate each pass against the simulator")
+		calibrate = flag.Bool("calibrate", true, "score candidates by short simulations instead of closed forms")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	params := disk.PaperParams()
+	dataBlocks, err := parseBlocks(*data, params.BlockBytes)
+	if err != nil {
+		fatal(err)
+	}
+	memBlocks, err := parseBlocks(*memory, params.BlockBytes)
+	if err != nil {
+		fatal(err)
+	}
+
+	job := plan.Job{
+		TotalBlocks:  dataBlocks,
+		MemoryBlocks: int(memBlocks),
+		D:            *d,
+		InterRun:     *inter,
+		Disk:         params,
+	}
+	var p plan.Plan
+	if *calibrate {
+		p, err = plan.BuildCalibrated(job, *seed)
+	} else {
+		p, err = plan.Build(job)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(p)
+
+	if !*simulate {
+		return
+	}
+	fmt.Println("\nsimulated validation:")
+	for i := range p.Passes {
+		simT, res, err := p.SimulatePass(i, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("  pass %d: simulated %.1fs (estimate %.1fs, overlap %.2f disks, success %.3f)\n",
+			i, simT.Seconds(), p.Passes[i].Estimated.Seconds(),
+			res.MeanConcurrencyWhenBusy, res.SuccessRatio())
+	}
+}
+
+// parseBlocks interprets s as a block count, or as bytes when suffixed
+// with K, M or G, converting at blockBytes per block.
+func parseBlocks(s string, blockBytes int) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(0) // 0: plain block count
+	switch {
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult = 1 << 30
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult = 1 << 20
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult = 1 << 10
+	}
+	if mult == 0 {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("sortplan: bad size %q", s)
+		}
+		return v, nil
+	}
+	v, err := strconv.ParseFloat(s[:len(s)-1], 64)
+	if err != nil {
+		return 0, fmt.Errorf("sortplan: bad size %q", s)
+	}
+	blocks := int64(v * float64(mult) / float64(blockBytes))
+	if blocks < 1 {
+		return 0, fmt.Errorf("sortplan: %q is less than one block", s)
+	}
+	return blocks, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sortplan:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseBlocks(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"1000", 1000},
+		{"4K", 1},      // 4096 bytes = 1 block
+		{"1M", 256},    // 1 MiB / 4 KiB
+		{"1G", 262144}, // 1 GiB / 4 KiB
+		{"0.5M", 128},  // fractional sizes allowed
+		{" 2M ", 512},  // whitespace tolerated
+		{"3m", 768},    // lowercase suffix
+	}
+	for _, c := range cases {
+		got, err := parseBlocks(c.in, 4096)
+		if err != nil {
+			t.Fatalf("parseBlocks(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("parseBlocks(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "12Q", "0K", "K"} {
+		if _, err := parseBlocks(bad, 4096); err == nil {
+			t.Fatalf("parseBlocks(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package repro is a production-quality Go reproduction of Pai &
+// Varman, "Prefetching with Multiple Disks for External Mergesort:
+// Simulation and Analysis" (ICDE 1992).
+//
+// The module root holds the benchmark harness (bench_test.go): one
+// benchmark per figure of the paper's evaluation plus micro-benchmarks
+// of every substrate. The library itself lives under internal/ — see
+// README.md for the package map, DESIGN.md for the system inventory
+// and the OCR-calibrated parameter reconstruction, and EXPERIMENTS.md
+// for the paper-vs-measured record.
+//
+// Entry points:
+//
+//	internal/core        the simulated merge engine (the paper's contribution)
+//	internal/analysis    the paper's closed-form models
+//	internal/extsort     a real external mergesort with trace replay
+//	internal/plan        multi-pass sort planning
+//	cmd/figures          regenerate the paper's evaluation
+package repro

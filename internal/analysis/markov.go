@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file reconstructs the Markov analysis of the paper's companion
+// technical report (Pai, Schaffer, Varman, "Markov Analysis of
+// Multiple-Disk Prefetching Strategies for External MergeSort"), which
+// the paper cites to justify its all-or-demand cache admission policy:
+// "we consider both alternatives for handling an almost-full cache, for
+// the case of D disks with one run per disk ... the average I/O
+// parallelism obtained by the second alternative is superior to making
+// a random choice, for all reasonable values of cache size."
+//
+// The abstract model: D disks, one (unbounded) run per disk, a cache of
+// C blocks. At each step one block is depleted from a uniformly random
+// run. When the depleted run has no cached blocks left, an I/O
+// operation fetches its next block, and — space permitting — one block
+// from every other disk too:
+//
+//   - AllOrNothing (the paper's choice): fetch from all D disks if D
+//     blocks fit in the cache, else fetch only the demand block;
+//   - GreedyFill: fetch the demand block plus as many other disks'
+//     blocks as fit.
+//
+// The figure of merit is the steady-state average I/O parallelism: the
+// expected number of disks participating in a fetch.
+
+// MarkovPolicy selects the admission rule of the abstract model.
+type MarkovPolicy int
+
+const (
+	// AllOrNothing fetches from every disk or only the demand disk.
+	AllOrNothing MarkovPolicy = iota
+	// GreedyFill fetches from the demand disk plus as many others as fit.
+	GreedyFill
+)
+
+// String implements fmt.Stringer.
+func (p MarkovPolicy) String() string {
+	switch p {
+	case AllOrNothing:
+		return "all-or-nothing"
+	case GreedyFill:
+		return "greedy-fill"
+	default:
+		return fmt.Sprintf("MarkovPolicy(%d)", int(p))
+	}
+}
+
+// MarkovChain is the exact discrete chain of the abstract model. States
+// are multisets of per-run buffer levels (runs are exchangeable, so
+// sorted level vectors index the chain), which keeps the state space
+// tractable for the D and C the TR studied.
+type MarkovChain struct {
+	D      int
+	C      int
+	Policy MarkovPolicy
+
+	states []state // sorted level vectors
+	index  map[string]int
+}
+
+type state []int
+
+func (s state) key() string {
+	b := make([]byte, len(s))
+	for i, v := range s {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+// NewMarkovChain enumerates the state space for D disks and a C-block
+// cache. D must be at least 1 and C at least D (one cached block per
+// run is the minimum working set).
+func NewMarkovChain(d, c int, policy MarkovPolicy) (*MarkovChain, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("analysis: markov D = %d", d)
+	}
+	if c < d {
+		return nil, fmt.Errorf("analysis: markov C = %d < D = %d", c, d)
+	}
+	if c > 255 {
+		return nil, fmt.Errorf("analysis: markov C = %d too large to enumerate", c)
+	}
+	m := &MarkovChain{D: d, C: c, Policy: policy, index: map[string]int{}}
+	// Enumerate sorted vectors with sum <= C and every level >= 1: a
+	// fetch always restores the demand run's block, so the reachable
+	// class never contains a zero level between steps.
+	var rec func(s state, min, budget int)
+	rec = func(s state, min, budget int) {
+		if len(s) == d {
+			cp := append(state(nil), s...)
+			m.index[cp.key()] = len(m.states)
+			m.states = append(m.states, cp)
+			return
+		}
+		for v := min; v <= budget; v++ {
+			rec(append(s, v), v, budget-v)
+		}
+	}
+	rec(nil, 1, c)
+	return m, nil
+}
+
+// NumStates returns the size of the collapsed state space.
+func (m *MarkovChain) NumStates() int { return len(m.states) }
+
+// outcome is one probabilistic successor of a depletion step.
+type outcome struct {
+	next state
+	prob float64
+	par  int // fetch parallelism; 0 when no fetch occurred
+}
+
+// step applies one depletion from run position i (levels sorted
+// ascending) of s and returns the distribution of successors.
+func (m *MarkovChain) step(s state, i int) []outcome {
+	next := append(state(nil), s...)
+	next[i]--
+	if next[i] > 0 {
+		return []outcome{{next: next, prob: 1}}
+	}
+	// Demand fetch for run i; others get one block as space allows.
+	used := 0
+	for _, v := range next {
+		used += v
+	}
+	free := m.C - used
+	switch m.Policy {
+	case AllOrNothing:
+		if free >= m.D {
+			for j := range next {
+				next[j]++
+			}
+			return []outcome{{next: next, prob: 1, par: m.D}}
+		}
+		next[i]++
+		return []outcome{{next: next, prob: 1, par: 1}}
+	case GreedyFill:
+		grant := free
+		if grant > m.D {
+			grant = m.D
+		}
+		if grant < 1 {
+			grant = 1 // the demand block always proceeds
+		}
+		next[i]++
+		extra := grant - 1
+		if extra == 0 {
+			return []outcome{{next: next, prob: 1, par: 1}}
+		}
+		// The TR's policy picks which other disks to fill uniformly at
+		// random: enumerate all size-`extra` subsets of the other
+		// positions, each equally likely.
+		var others []int
+		for j := range next {
+			if j != i {
+				others = append(others, j)
+			}
+		}
+		subsets := combinations(others, extra)
+		prob := 1 / float64(len(subsets))
+		outs := make([]outcome, 0, len(subsets))
+		for _, sub := range subsets {
+			nn := append(state(nil), next...)
+			for _, j := range sub {
+				nn[j]++
+			}
+			outs = append(outs, outcome{next: nn, prob: prob, par: grant})
+		}
+		return outs
+	default:
+		panic("analysis: unknown markov policy")
+	}
+}
+
+// combinations returns all size-k subsets of xs.
+func combinations(xs []int, k int) [][]int {
+	if k == 0 {
+		return [][]int{{}}
+	}
+	if k > len(xs) {
+		return nil
+	}
+	var out [][]int
+	// Include xs[0].
+	for _, rest := range combinations(xs[1:], k-1) {
+		sub := append([]int{xs[0]}, rest...)
+		out = append(out, sub)
+	}
+	// Exclude xs[0].
+	out = append(out, combinations(xs[1:], k)...)
+	return out
+}
+
+// sortLevels canonicalizes a level vector.
+func sortLevels(s state) state {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	return s
+}
+
+// Solve computes the stationary distribution by power iteration and
+// returns the steady-state average I/O parallelism (expected disks per
+// fetch) and the fetch rate (fetches per depletion).
+func (m *MarkovChain) Solve(tol float64, maxIter int) (parallelism, fetchRate float64, err error) {
+	n := len(m.states)
+	pi := make([]float64, n)
+	// Start from the minimal working set: one block per run.
+	ones := make(state, m.D)
+	for i := range ones {
+		ones[i] = 1
+	}
+	pi[m.index[ones.key()]] = 1
+
+	// Precompute transitions: from each state, D equiprobable depletion
+	// choices (by sorted position), each possibly branching over random
+	// prefetch recipients.
+	type edge struct {
+		to   int
+		prob float64
+		par  int
+	}
+	trans := make([][]edge, n)
+	for si, s := range m.states {
+		for i := 0; i < m.D; i++ {
+			for _, out := range m.step(s, i) {
+				nx := sortLevels(out.next)
+				ti, ok := m.index[nx.key()]
+				if !ok {
+					return 0, 0, fmt.Errorf("analysis: markov transition left state space")
+				}
+				trans[si] = append(trans[si], edge{
+					to:   ti,
+					prob: out.prob / float64(m.D),
+					par:  out.par,
+				})
+			}
+		}
+	}
+
+	next := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		for i := range next {
+			next[i] = 0
+		}
+		for si, p := range pi {
+			if p == 0 {
+				continue
+			}
+			for _, e := range trans[si] {
+				next[e.to] += p * e.prob
+			}
+		}
+		delta := 0.0
+		for i := range next {
+			delta += math.Abs(next[i] - pi[i])
+		}
+		pi, next = next, pi
+		if delta < tol {
+			break
+		}
+	}
+
+	// Rewards over the stationary distribution.
+	var parSum, fetchP float64
+	for si, p := range pi {
+		if p == 0 {
+			continue
+		}
+		for _, e := range trans[si] {
+			if e.par > 0 {
+				parSum += p * e.prob * float64(e.par)
+				fetchP += p * e.prob
+			}
+		}
+	}
+	if fetchP == 0 {
+		return 0, 0, fmt.Errorf("analysis: no fetches in steady state")
+	}
+	return parSum / fetchP, fetchP, nil
+}

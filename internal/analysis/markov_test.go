@@ -1,0 +1,194 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func solve(t *testing.T, d, c int, pol MarkovPolicy) (par, rate float64) {
+	t.Helper()
+	m, err := NewMarkovChain(d, c, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, rate, err = m.Solve(1e-10, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return par, rate
+}
+
+func TestMarkovValidation(t *testing.T) {
+	if _, err := NewMarkovChain(0, 5, AllOrNothing); err == nil {
+		t.Fatal("D=0 accepted")
+	}
+	if _, err := NewMarkovChain(3, 2, AllOrNothing); err == nil {
+		t.Fatal("C<D accepted")
+	}
+	if _, err := NewMarkovChain(2, 500, AllOrNothing); err == nil {
+		t.Fatal("huge C accepted")
+	}
+	if AllOrNothing.String() != "all-or-nothing" || GreedyFill.String() != "greedy-fill" {
+		t.Fatal("policy strings wrong")
+	}
+}
+
+func TestMarkovSingleDiskDegenerate(t *testing.T) {
+	// One disk: every fetch has parallelism 1 under either policy.
+	for _, pol := range []MarkovPolicy{AllOrNothing, GreedyFill} {
+		par, rate := solve(t, 1, 4, pol)
+		if math.Abs(par-1) > 1e-9 {
+			t.Fatalf("%v: parallelism = %v", pol, par)
+		}
+		// With one run every depletion empties it: fetch rate 1.
+		if math.Abs(rate-1) > 1e-9 {
+			t.Fatalf("%v: fetch rate = %v", pol, rate)
+		}
+	}
+}
+
+func TestMarkovMinimalCacheBothPoliciesDegrade(t *testing.T) {
+	// C = D: after the initial working set there is never room for a
+	// full batch beyond... the demand fetch frees and refills one slot,
+	// so both policies serve demand-only: parallelism 1.
+	for _, pol := range []MarkovPolicy{AllOrNothing, GreedyFill} {
+		par, _ := solve(t, 4, 4, pol)
+		if math.Abs(par-1) > 1e-9 {
+			t.Fatalf("%v at C=D: parallelism = %v", pol, par)
+		}
+	}
+}
+
+func TestMarkovAmpleCacheApproachesD(t *testing.T) {
+	// A generous cache raises parallelism toward D, but even C = 10·D
+	// does not reach it: occupancy drifts to the cache boundary where
+	// demand-only fetches recur — the same slow saturation the full
+	// simulator's success-ratio sweeps (figure 3.6) exhibit.
+	par, _ := solve(t, 5, 50, AllOrNothing)
+	if par < 4.0 || par >= 5.0 {
+		t.Fatalf("ample-cache parallelism = %v, want in [4, 5)", par)
+	}
+}
+
+// TestMarkovReproducesTRClaim is the reconstruction of the companion
+// TR's result the paper cites: for the configurations the paper uses
+// (D >= 4 disks with a cache of at least ~3D blocks), all-or-nothing
+// admission yields higher average I/O parallelism than greedy filling.
+// At very tight caches (C = 2D) the chain shows greedy marginally
+// ahead — the same small-cache reversal the full simulator's admission
+// ablation finds.
+func TestMarkovReproducesTRClaim(t *testing.T) {
+	cases := []struct{ d, c int }{
+		{4, 16}, {4, 24}, {4, 40},
+		{5, 15}, {5, 20}, {5, 30}, {5, 50},
+	}
+	for _, tc := range cases {
+		aon, _ := solve(t, tc.d, tc.c, AllOrNothing)
+		greedy, _ := solve(t, tc.d, tc.c, GreedyFill)
+		if aon < greedy {
+			t.Fatalf("D=%d C=%d: all-or-nothing %v < greedy %v", tc.d, tc.c, aon, greedy)
+		}
+	}
+	// The tight-cache reversal, pinned down so a model change that
+	// flips it is noticed.
+	aon, _ := solve(t, 5, 10, AllOrNothing)
+	greedy, _ := solve(t, 5, 10, GreedyFill)
+	if aon >= greedy {
+		t.Fatalf("expected greedy to win at C=2D: aon %v, greedy %v", aon, greedy)
+	}
+}
+
+func TestMarkovParallelismMonotoneInCache(t *testing.T) {
+	prev := 0.0
+	for _, c := range []int{5, 10, 15, 20, 30} {
+		par, _ := solve(t, 5, c, AllOrNothing)
+		if par+1e-9 < prev {
+			t.Fatalf("parallelism not monotone in C: %v after %v", par, prev)
+		}
+		prev = par
+	}
+}
+
+// TestMarkovMatchesMonteCarlo cross-validates the exact chain against
+// a direct simulation of the same abstract model.
+func TestMarkovMatchesMonteCarlo(t *testing.T) {
+	const d, c = 4, 12
+	for _, pol := range []MarkovPolicy{AllOrNothing, GreedyFill} {
+		exact, _ := solve(t, d, c, pol)
+
+		r := rng.New(99)
+		levels := make([]int, d)
+		for i := range levels {
+			levels[i] = 1
+		}
+		var parSum, fetches float64
+		const steps = 400000
+		for s := 0; s < steps; s++ {
+			i := r.Intn(d)
+			if levels[i] == 0 {
+				t.Fatal("model invariant violated")
+			}
+			levels[i]--
+			if levels[i] > 0 {
+				continue
+			}
+			used := 0
+			for _, v := range levels {
+				used += v
+			}
+			free := c - used
+			switch pol {
+			case AllOrNothing:
+				if free >= d {
+					for j := range levels {
+						levels[j]++
+					}
+					parSum += float64(d)
+				} else {
+					levels[i]++
+					parSum++
+				}
+			case GreedyFill:
+				grant := free
+				if grant > d {
+					grant = d
+				}
+				if grant < 1 {
+					grant = 1
+				}
+				levels[i]++
+				// Distinct random recipients among the other disks.
+				others := make([]int, 0, d-1)
+				for j := 0; j < d; j++ {
+					if j != i {
+						others = append(others, j)
+					}
+				}
+				r.Shuffle(len(others), func(a, b int) { others[a], others[b] = others[b], others[a] })
+				for _, j := range others[:grant-1] {
+					levels[j]++
+				}
+				parSum += float64(grant)
+			}
+			fetches++
+		}
+		mc := parSum / fetches
+		if math.Abs(mc-exact) > 0.05 {
+			t.Fatalf("%v: monte carlo %v vs exact %v", pol, mc, exact)
+		}
+	}
+}
+
+func TestMarkovStateSpaceSize(t *testing.T) {
+	m, err := NewMarkovChain(3, 6, AllOrNothing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sorted vectors of 3 levels >= 1 with sum <= 6:
+	// (1,1,1)(1,1,2)(1,1,3)(1,1,4)(1,2,2)(1,2,3)(2,2,2) = 7.
+	if m.NumStates() != 7 {
+		t.Fatalf("states = %d, want 7", m.NumStates())
+	}
+}

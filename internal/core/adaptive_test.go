@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// adaptiveAt runs the headline shape at cache size c with the adaptive
+// controller bounded by maxN.
+func adaptiveAt(t *testing.T, c, maxN int) Result {
+	t.Helper()
+	cfg := Default()
+	cfg.N = maxN
+	cfg.AdaptiveN = true
+	cfg.InterRun = true
+	cfg.CacheBlocks = c
+	return mustRun(t, cfg)
+}
+
+// fixedAt runs the same shape at a fixed depth.
+func fixedAt(t *testing.T, c, n int) Result {
+	t.Helper()
+	cfg := Default()
+	cfg.N = n
+	cfg.InterRun = true
+	cfg.CacheBlocks = c
+	return mustRun(t, cfg)
+}
+
+func TestAdaptiveTracksBestFixedN(t *testing.T) {
+	// The paper: "for a given cache size, there is an optimal value of
+	// N". The AIMD controller should get within striking distance of
+	// the best fixed depth at every cache size without retuning.
+	for _, c := range []int{200, 500, 1000} {
+		best := fixedAt(t, c, 1).TotalTime
+		for _, n := range []int{2, 5, 10, 15, 20} {
+			if r := fixedAt(t, c, n); r.TotalTime < best {
+				best = r.TotalTime
+			}
+		}
+		ad := adaptiveAt(t, c, 30)
+		if ad.TotalTime > best*16/10 {
+			t.Fatalf("C=%d: adaptive %v vs best fixed %v (>1.6x)", c, ad.TotalTime, best)
+		}
+	}
+}
+
+func TestAdaptiveDepthRespondsToCache(t *testing.T) {
+	tight := adaptiveAt(t, 200, 30)
+	ample := adaptiveAt(t, 2000, 30)
+	if !(ample.MeanDepth > tight.MeanDepth) {
+		t.Fatalf("mean depth did not grow with cache: tight %v, ample %v",
+			tight.MeanDepth, ample.MeanDepth)
+	}
+	if tight.MeanDepth < 1 || ample.MeanDepth > 30 {
+		t.Fatalf("depths out of bounds: %v, %v", tight.MeanDepth, ample.MeanDepth)
+	}
+}
+
+func TestAdaptiveFixedDepthReported(t *testing.T) {
+	res := fixedAt(t, 500, 10)
+	if res.MeanDepth != 10 {
+		t.Fatalf("fixed-depth MeanDepth = %v", res.MeanDepth)
+	}
+}
+
+func TestAdaptiveWithUnlimitedCacheGrowsToBound(t *testing.T) {
+	cfg := Default()
+	cfg.N = 8
+	cfg.AdaptiveN = true
+	cfg.InterRun = true
+	cfg.CacheBlocks = cache.Unlimited
+	res := mustRun(t, cfg)
+	// Nothing ever rejects: the controller should climb to the bound
+	// and stay there for most decisions.
+	if res.MeanDepth < 6 {
+		t.Fatalf("mean depth %v did not approach bound 8", res.MeanDepth)
+	}
+	if res.SuccessRatio() != 1 {
+		t.Fatalf("success = %v", res.SuccessRatio())
+	}
+}
+
+func TestAdaptiveIntraOnly(t *testing.T) {
+	cfg := Default()
+	cfg.N = 12
+	cfg.AdaptiveN = true
+	cfg.CacheBlocks = 100 // < kN: fixed N=12 would reject constantly
+	res := mustRun(t, cfg)
+	if res.MergedBlocks != 25000 {
+		t.Fatalf("merged = %d", res.MergedBlocks)
+	}
+	if res.MeanDepth >= 12 {
+		t.Fatalf("tight cache mean depth = %v", res.MeanDepth)
+	}
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/disk"
+	"repro/internal/layout"
+)
+
+// TestTrialsParallelDeterminism verifies the parallel trial runner
+// produces exactly the serial aggregation (trials are seed-indexed and
+// aggregated in order, so parallelism must be invisible).
+func TestTrialsParallelDeterminism(t *testing.T) {
+	cfg := small()
+	cfg.N = 3
+	cfg.InterRun = true
+	cfg.CacheBlocks = cfg.DefaultCache()
+	a, err := RunTrials(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTrials(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTime.Mean() != b.TotalTime.Mean() || a.TotalTime.Variance() != b.TotalTime.Variance() {
+		t.Fatalf("parallel trial aggregation not deterministic: %v vs %v", a.TotalTime, b.TotalTime)
+	}
+	for i := range a.Results {
+		if a.Results[i].TotalTime != b.Results[i].TotalTime {
+			t.Fatalf("trial %d differs between runs", i)
+		}
+	}
+}
+
+// TestConservationProperties drives randomized configurations and
+// checks the conservation laws every simulation must satisfy:
+//
+//   - every disk block read equals every cache deposit equals every
+//     consumed block equals K × BlocksPerRun (reads), plus writes;
+//   - per-disk blocks match the layout's residency;
+//   - stall time within [0, total]; concurrency within [0, D];
+//   - cache peak within capacity; success ratio within [0, 1].
+func TestConservationProperties(t *testing.T) {
+	check := func(seed uint16, kSel, dSel, nSel, strat, place uint8) bool {
+		k := int(kSel%10) + 2  // 2..11 runs
+		d := int(dSel)%k%4 + 1 // 1..4 disks, <= k
+		n := int(nSel%6) + 1   // 1..6
+		blocks := 40
+		cfg := Default()
+		cfg.K = k
+		cfg.D = d
+		cfg.BlocksPerRun = blocks
+		cfg.N = n
+		cfg.InterRun = strat&1 != 0
+		cfg.Synchronized = strat&2 != 0
+		cfg.Admission = cache.AllOrDemand
+		if strat&4 != 0 {
+			cfg.Admission = cache.Greedy
+		}
+		switch place % 3 {
+		case 0:
+			cfg.Placement = layout.RoundRobin
+		case 1:
+			cfg.Placement = layout.Clustered
+		case 2:
+			cfg.Placement = layout.Striped
+		}
+		if cfg.Placement == layout.Striped && blocks < d {
+			return true
+		}
+		cfg.Disk.Rotational = disk.RotUniform
+		cfg.CacheBlocks = cfg.DefaultCache() + int(seed%64)
+		cfg.Seed = uint64(seed) + 1
+
+		res, err := Run(cfg)
+		if err != nil {
+			t.Logf("config rejected: %v", err)
+			return true // invalid combinations may be rejected, not wrong
+		}
+		total := int64(k * blocks)
+		if res.MergedBlocks != total {
+			t.Logf("merged %d != %d", res.MergedBlocks, total)
+			return false
+		}
+		var read int64
+		for _, ds := range res.PerDisk {
+			read += ds.Blocks
+		}
+		if read != total {
+			t.Logf("disks read %d != %d", read, total)
+			return false
+		}
+		if res.StallTime < 0 || res.StallTime > res.TotalTime {
+			t.Logf("stall %v outside [0,%v]", res.StallTime, res.TotalTime)
+			return false
+		}
+		if res.MeanConcurrency < 0 || res.MeanConcurrency > float64(d)+1e-9 {
+			t.Logf("concurrency %v outside [0,%d]", res.MeanConcurrency, d)
+			return false
+		}
+		if sr := res.SuccessRatio(); sr < 0 || sr > 1 {
+			t.Logf("success ratio %v", sr)
+			return false
+		}
+		if res.CachePeak > int64(cfg.CacheBlocks) {
+			t.Logf("cache peak %d > capacity %d", res.CachePeak, cfg.CacheBlocks)
+			return false
+		}
+		if res.FullPrefetches > res.Decisions {
+			t.Logf("full %d > decisions %d", res.FullPrefetches, res.Decisions)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConservationWithWrites extends the conservation check to output
+// modelling: reads + writes are both conserved.
+func TestConservationWithWrites(t *testing.T) {
+	check := func(seed uint16, shared bool, wd uint8) bool {
+		cfg := Default()
+		cfg.K = 8
+		cfg.D = 2
+		cfg.BlocksPerRun = 50
+		cfg.N = 4
+		cfg.InterRun = true
+		cfg.CacheBlocks = cache.Unlimited
+		cfg.Seed = uint64(seed) + 1
+		cfg.Write = WriteConfig{Enabled: true, Shared: shared, Disks: int(wd%3) + 1}
+		res, err := Run(cfg)
+		if err != nil {
+			return true
+		}
+		if res.WrittenBlocks != res.MergedBlocks {
+			return false
+		}
+		var moved int64
+		for _, ds := range res.PerDisk {
+			moved += ds.Blocks
+		}
+		for _, ds := range res.PerWriteDisk {
+			moved += ds.Blocks
+		}
+		return moved == 2*res.MergedBlocks
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

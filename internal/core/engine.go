@@ -1,0 +1,610 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/stats"
+
+	"repro/internal/cache"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// engine holds the live state of one simulated merge.
+type engine struct {
+	cfg Config
+
+	k      *sim.Kernel
+	lay    *layout.Layout
+	disks  []*disk.Disk
+	cache  *cache.Cache
+	model  workload.Model
+	pick   *rng.Stream // inter-run prefetch run choice
+	rrNext []int       // RoundRobinRun cursor per disk
+
+	// Per-run bookkeeping. nextFetch[r] is the next block index of run
+	// r to request from disk; inflight[r] counts requested,
+	// not-yet-deposited blocks.
+	nextFetch []int
+	inflight  []int
+
+	// consumedOf[r] counts merged blocks of run r; active lists runs
+	// with unmerged blocks, positions tracked for O(1) removal.
+	consumedOf []int
+	active     []int
+	activePos  []int
+
+	// runArrival[r] is broadcast whenever a block of run r is deposited.
+	runArrival []*sim.Signal
+
+	// Disk-concurrency accounting.
+	busyCount    int
+	lastBusyT    sim.Time
+	busyIntegral float64
+	nonZeroTime  float64
+
+	// Output modelling (nil unless cfg.Write.Enabled).
+	writer   *writer
+	writeRot *rng.Stream
+
+	// timeline is non-nil when cfg.RecordTimeline is set.
+	timeline *timeline
+
+	// Adaptive prefetch depth (AIMD; equals cfg.N when not adaptive).
+	curN        int
+	admitStreak int
+	sumDepth    int64
+
+	// Outcome counters.
+	decisions      int64
+	fullPrefetches int64
+	stallTime      sim.Time
+	stallHist      *stats.Histogram
+	finish         sim.Time
+}
+
+// Run simulates one merge under cfg and returns its Result.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	e.k.Spawn("cpu", e.cpu)
+	if cfg.MaxSimTime > 0 {
+		if err := e.k.RunUntil(cfg.MaxSimTime); err != nil {
+			return Result{}, fmt.Errorf("core: simulation failed: %w", err)
+		}
+		if e.finish == 0 { // CPU never completed: horizon reached
+			e.finish = e.k.Now()
+			res := e.result()
+			res.TimedOut = true
+			return res, nil
+		}
+		return e.result(), nil
+	}
+	if err := e.k.Run(); err != nil {
+		return Result{}, fmt.Errorf("core: simulation failed: %w", err)
+	}
+	return e.result(), nil
+}
+
+// RunTrials simulates trials independent replications (seeds Seed,
+// Seed+1, ...) and aggregates them. Replications are independent
+// simulations, so they run on parallel goroutines when no Tracer is
+// installed; results are aggregated in trial order, so the outcome is
+// identical to a serial run.
+func RunTrials(cfg Config, trials int) (Aggregate, error) {
+	if trials <= 0 {
+		return Aggregate{}, fmt.Errorf("core: trials = %d", trials)
+	}
+	results := make([]Result, trials)
+	errs := make([]error, trials)
+	runOne := func(t int) {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(t)
+		// A caller-supplied stateful workload model cannot be shared
+		// across trials; keep it only for single-trial runs.
+		if trials > 1 {
+			c.Workload = nil
+		}
+		results[t], errs[t] = Run(c)
+	}
+	if trials > 1 && cfg.Tracer == nil && cfg.OnRequest == nil {
+		workers := runtime.GOMAXPROCS(0)
+		if workers > trials {
+			workers = trials
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range next {
+					runOne(t)
+				}
+			}()
+		}
+		for t := 0; t < trials; t++ {
+			next <- t
+		}
+		close(next)
+		wg.Wait()
+	} else {
+		for t := 0; t < trials; t++ {
+			runOne(t)
+		}
+	}
+
+	agg := Aggregate{Config: cfg, Trials: trials}
+	for t := 0; t < trials; t++ {
+		if errs[t] != nil {
+			return Aggregate{}, errs[t]
+		}
+		res := results[t]
+		agg.Results = append(agg.Results, res)
+		agg.TotalTime.Add(res.TotalTime.Seconds())
+		agg.SuccessRatio.Add(res.SuccessRatio())
+		agg.Concurrency.Add(res.MeanConcurrencyWhenBusy)
+		agg.StallTime.Add(res.StallTime.Seconds())
+	}
+	return agg, nil
+}
+
+func newEngine(cfg Config) (*engine, error) {
+	k := sim.New()
+	if cfg.Tracer != nil {
+		k.SetTracer(cfg.Tracer)
+	}
+	lay, err := layout.NewLengths(cfg.Placement, cfg.runLengths(), cfg.D)
+	if err != nil {
+		return nil, err
+	}
+	c, err := cache.New(cfg.CacheBlocks, cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	root := rng.New(cfg.Seed)
+	e := &engine{
+		cfg:        cfg,
+		k:          k,
+		lay:        lay,
+		cache:      c,
+		pick:       root.Split("prefetch-pick"),
+		rrNext:     make([]int, cfg.D),
+		nextFetch:  make([]int, cfg.K),
+		inflight:   make([]int, cfg.K),
+		consumedOf: make([]int, cfg.K),
+		active:     make([]int, cfg.K),
+		activePos:  make([]int, cfg.K),
+		runArrival: make([]*sim.Signal, cfg.K),
+	}
+	e.stallHist = stats.NewHistogram(0, 200, 400) // per-miss stall, ms
+	e.curN = cfg.N
+	if cfg.AdaptiveN {
+		e.curN = 1 // start conservatively; successes raise the depth
+	}
+	e.model = cfg.Workload
+	if e.model == nil {
+		e.model = &workload.Uniform{R: root.Split("depletion")}
+	}
+	for r := 0; r < cfg.K; r++ {
+		e.active[r] = r
+		e.activePos[r] = r
+		e.runArrival[r] = k.NewSignal()
+	}
+	for d := 0; d < cfg.D; d++ {
+		dk, err := disk.New(k, d, cfg.Disk, root.SplitIndexed("disk", d))
+		if err != nil {
+			return nil, err
+		}
+		dk.SetBusyObserver(e.observerFor(d))
+		if cfg.OnRequest != nil {
+			dk.SetRequestObserver(cfg.OnRequest)
+		}
+		e.disks = append(e.disks, dk)
+	}
+	e.writeRot = root.Split("write")
+	w, err := newWriter(e)
+	if err != nil {
+		return nil, err
+	}
+	e.writer = w
+	if cfg.RecordTimeline {
+		n := len(e.disks)
+		if w != nil && !w.cfg.Shared {
+			n += len(w.disks)
+		}
+		e.timeline = newTimeline(n)
+	}
+	return e, nil
+}
+
+// observerFor returns the busy observer for disk index i, feeding both
+// the concurrency integral and, when enabled, the timeline.
+func (e *engine) observerFor(i int) func(at sim.Time, busy bool) {
+	return func(at sim.Time, busy bool) {
+		e.observeBusy(at, busy)
+		if e.timeline != nil {
+			e.timeline.observe(i, at, busy)
+		}
+	}
+}
+
+// observeBusy integrates the number of concurrently busy disks.
+func (e *engine) observeBusy(at sim.Time, busy bool) {
+	dt := float64(at - e.lastBusyT)
+	e.busyIntegral += float64(e.busyCount) * dt
+	if e.busyCount > 0 {
+		e.nonZeroTime += dt
+	}
+	e.lastBusyT = at
+	if busy {
+		e.busyCount++
+	} else {
+		e.busyCount--
+	}
+}
+
+// remainingToFetch returns how many blocks of run r are neither fetched
+// nor being fetched.
+func (e *engine) remainingToFetch(r int) int {
+	return e.lay.RunLength(r) - e.nextFetch[r]
+}
+
+// deactivate removes run r from the active set in O(1).
+func (e *engine) deactivate(r int) {
+	pos := e.activePos[r]
+	last := len(e.active) - 1
+	moved := e.active[last]
+	e.active[pos] = moved
+	e.activePos[moved] = pos
+	e.active = e.active[:last]
+	e.activePos[r] = -1
+}
+
+// cpu is the merge process: the paper's simulation loop.
+func (e *engine) cpu(p *sim.Proc) {
+	e.initialLoad(p)
+	total := e.cfg.TotalBlocks()
+	for merged := int64(0); merged < total; merged++ {
+		j := e.model.Choose(e.active)
+
+		// The invariant of the paper's loop is that every active run has
+		// its leading block cached; replayed or skewed workloads can
+		// break it, so wait defensively.
+		if e.cache.Available(j) == 0 {
+			e.fetchAndWait(p, j)
+		}
+
+		e.cache.Consume(j)
+		e.consumedOf[j]++
+		if e.consumedOf[j] == e.lay.RunLength(j) {
+			e.deactivate(j)
+		} else if e.cache.Available(j) == 0 {
+			// The run's cached blocks are exhausted: the next block is
+			// the demand-fetch block (paper §2). Fetch and wait per the
+			// configured synchronization before merging proceeds.
+			e.fetchAndWait(p, j)
+		}
+
+		if e.cfg.MergeTimePerBlock > 0 {
+			p.Sleep(e.cfg.MergeTimePerBlock)
+		}
+		if e.writer != nil {
+			e.writer.produce(p)
+		}
+	}
+	if e.writer != nil {
+		e.writer.drain(p)
+	}
+	e.finish = p.Now()
+}
+
+// fetchAndWait brings run j's next block into the cache: issues a fetch
+// if one is not already in flight, then waits per the synchronization
+// mode (whole batch when synchronized, demand block only otherwise).
+func (e *engine) fetchAndWait(p *sim.Proc, j int) {
+	start := p.Now()
+	var batch []*sim.Completion
+	if e.nextFetch[j] <= e.cache.NextToConsume(j) {
+		batch = e.issueFetch(j)
+	}
+	if e.cfg.Synchronized {
+		p.AwaitAll(batch...)
+	}
+	p.WaitFor(e.runArrival[j], func() bool { return e.cache.Available(j) > 0 })
+	stall := p.Now() - start
+	e.stallTime += stall
+	e.stallHist.Add(stall.Milliseconds())
+}
+
+// issueFetch performs one I/O decision for demand run j: it sizes the
+// batch against the cache, reserves space, and submits per-disk
+// requests. It returns the Done completions of all submitted requests.
+func (e *engine) issueFetch(j int) []*sim.Completion {
+	e.decisions++
+	depth := e.curN
+	e.sumDepth += int64(depth)
+
+	type piece struct {
+		run int
+		n   int
+	}
+	wantJ := min(depth, e.remainingToFetch(j))
+	if wantJ <= 0 {
+		panic(fmt.Sprintf("core: demand fetch on exhausted run %d", j))
+	}
+	pieces := []piece{{j, wantJ}}
+	want := wantJ
+
+	if e.cfg.InterRun {
+		home := e.homeDiskOf(j)
+		// Under striped placement every run is resident on every disk,
+		// so two disks could nominate the same run; picked prevents a
+		// run from entering the batch twice.
+		picked := map[int]bool{j: true}
+		for d := 0; d < e.cfg.D; d++ {
+			if d == home {
+				continue
+			}
+			r := e.choosePrefetchRun(d, picked)
+			if r < 0 {
+				continue
+			}
+			picked[r] = true
+			n := min(depth, e.remainingToFetch(r))
+			pieces = append(pieces, piece{r, n})
+			want += n
+		}
+	}
+
+	adm := e.cfg.Admission.Admit(e.cache, want)
+	if adm.Full {
+		e.fullPrefetches++
+		e.adaptOnAdmit()
+	} else {
+		e.adaptOnReject()
+		// Trim the batch to the admitted size. All-or-demand reduces to
+		// the demand block alone; greedy keeps the demand run's piece
+		// first and then fills the others in order with what fits.
+		budget := adm.Blocks
+		trimmed := pieces[:0]
+		for i := range pieces {
+			if budget == 0 {
+				break
+			}
+			n := min(pieces[i].n, budget)
+			if i == 0 && adm.Blocks < wantJ {
+				n = min(n, adm.Blocks) // demand piece may shrink below N
+			}
+			trimmed = append(trimmed, piece{pieces[i].run, n})
+			budget -= n
+		}
+		pieces = trimmed
+	}
+
+	var completions []*sim.Completion
+	for _, pc := range pieces {
+		if !e.cache.Reserve(pc.n) {
+			// Unreachable by construction: admission just checked space,
+			// and the merge loop freed the demand block's slot first.
+			panic("core: reservation failed after admission")
+		}
+		run := pc.run
+		from := e.nextFetch[run]
+		e.nextFetch[run] += pc.n
+		e.inflight[run] += pc.n
+		for _, ext := range e.lay.Extents(run, from, pc.n) {
+			ext := ext
+			req := &disk.Request{
+				Start: ext.Start,
+				Count: ext.Count,
+				Tag:   run,
+				OnBlock: func(i int, at sim.Time) {
+					e.cache.Deposit(run, ext.BlockIndex(i))
+					e.inflight[run]--
+					e.runArrival[run].Broadcast()
+				},
+			}
+			e.disks[ext.Disk].Submit(req)
+			completions = append(completions, req.Done)
+		}
+	}
+	return completions
+}
+
+// homeDiskOf returns the disk that serves run r's demand fetch: its
+// home disk for contiguous placements, or the disk holding the next
+// block for striped placement.
+func (e *engine) homeDiskOf(r int) int {
+	if h := e.lay.HomeDisk(r); h >= 0 {
+		return h
+	}
+	next := e.nextFetch[r]
+	if next >= e.lay.RunLength(r) {
+		next = e.lay.RunLength(r) - 1
+	}
+	return e.lay.Extents(r, next, 1)[0].Disk
+}
+
+// choosePrefetchRun picks the run to prefetch on disk d per the
+// configured policy, or -1 if no eligible run exists. Runs in picked
+// (the demand run and runs already in this batch) are never chosen.
+func (e *engine) choosePrefetchRun(d int, picked map[int]bool) int {
+	var eligible []int
+	for _, r := range e.lay.RunsOnDisk(d) {
+		if !picked[r] && e.remainingToFetch(r) > 0 {
+			eligible = append(eligible, r)
+		}
+	}
+	if len(eligible) == 0 {
+		return -1
+	}
+	switch e.cfg.RunPolicy {
+	case RandomRun:
+		return eligible[e.pick.Intn(len(eligible))]
+	case LeastBufferedRun:
+		best, bestBuf := -1, int(^uint(0)>>1)
+		for _, r := range eligible {
+			buf := e.cache.Available(r) + e.inflight[r]
+			if buf < bestBuf {
+				best, bestBuf = r, buf
+			}
+		}
+		return best
+	case RoundRobinRun:
+		r := eligible[e.rrNext[d]%len(eligible)]
+		e.rrNext[d]++
+		return r
+	case OracleRun:
+		if la, ok := e.model.(workload.Lookahead); ok {
+			// The first future depletion naming an eligible run is the
+			// most urgent prefetch this disk can make.
+			const horizon = 4096
+			inSet := make(map[int]bool, len(eligible))
+			for _, r := range eligible {
+				inSet[r] = true
+			}
+			for i := 0; i < horizon; i++ {
+				r, ok := la.Peek(i)
+				if !ok {
+					break
+				}
+				if inSet[r] {
+					return r
+				}
+			}
+		}
+		return eligible[e.pick.Intn(len(eligible))]
+	default:
+		panic("core: unknown prefetch run policy")
+	}
+}
+
+// initialLoad fills the cache with the first blocks of every run — N
+// per run when the cache allows, at least one — and waits for all of
+// them, as in the paper's initial state.
+func (e *engine) initialLoad(p *sim.Proc) {
+	base := min(e.cfg.N, e.cfg.CacheBlocks/e.cfg.K)
+	if base < 1 {
+		base = 1
+	}
+	var completions []*sim.Completion
+	for r := 0; r < e.cfg.K; r++ {
+		per := min(base, e.lay.RunLength(r))
+		if !e.cache.Reserve(per) {
+			panic("core: initial load exceeds cache")
+		}
+		e.nextFetch[r] = per
+		e.inflight[r] = per
+		run := r
+		for _, ext := range e.lay.Extents(r, 0, per) {
+			ext := ext
+			req := &disk.Request{
+				Start: ext.Start,
+				Count: ext.Count,
+				Tag:   run,
+				OnBlock: func(i int, at sim.Time) {
+					e.cache.Deposit(run, ext.BlockIndex(i))
+					e.inflight[run]--
+					e.runArrival[run].Broadcast()
+				},
+			}
+			e.disks[ext.Disk].Submit(req)
+			completions = append(completions, req.Done)
+		}
+	}
+	p.AwaitAll(completions...)
+}
+
+func (e *engine) result() Result {
+	// Close the concurrency window at the finish instant.
+	dt := float64(e.finish - e.lastBusyT)
+	if dt > 0 {
+		e.busyIntegral += float64(e.busyCount) * dt
+		if e.busyCount > 0 {
+			e.nonZeroTime += dt
+		}
+		e.lastBusyT = e.finish
+	}
+	res := Result{
+		Config:         e.cfg,
+		TotalTime:      e.finish,
+		MergedBlocks:   e.cfg.TotalBlocks(),
+		Decisions:      e.decisions,
+		FullPrefetches: e.fullPrefetches,
+		StallTime:      e.stallTime,
+		CachePeak:      int64(e.cache.PeakOccupied()),
+		MeanDepth:      float64(e.cfg.N),
+	}
+	if e.decisions > 0 {
+		res.MeanDepth = float64(e.sumDepth) / float64(e.decisions)
+	}
+	if e.finish > 0 {
+		res.MeanConcurrency = e.busyIntegral / float64(e.finish)
+	}
+	if e.nonZeroTime > 0 {
+		res.MeanConcurrencyWhenBusy = e.busyIntegral / e.nonZeroTime
+	}
+	for _, d := range e.disks {
+		res.PerDisk = append(res.PerDisk, d.Stats())
+	}
+	if e.writer != nil {
+		res.WrittenBlocks = e.writer.written
+		res.WriteStall = e.writer.writeStall
+		if !e.writer.cfg.Shared {
+			for _, d := range e.writer.disks {
+				res.PerWriteDisk = append(res.PerWriteDisk, d.Stats())
+			}
+		}
+	}
+	if e.timeline != nil {
+		e.timeline.finish(e.finish)
+		res.Timeline = e.timeline.disks
+	}
+	res.StallHistogram = e.stallHist
+	return res
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// adaptOnAdmit raises the adaptive depth additively after a streak of
+// fully admitted batches.
+func (e *engine) adaptOnAdmit() {
+	if !e.cfg.AdaptiveN {
+		return
+	}
+	e.admitStreak++
+	// Raising on every admit overshoots straight into rejection; a
+	// short streak keeps the controller near the knee.
+	if e.admitStreak >= 4 && e.curN < e.cfg.N {
+		e.curN++
+		e.admitStreak = 0
+	}
+}
+
+// adaptOnReject halves the adaptive depth when a full batch would not
+// fit the cache.
+func (e *engine) adaptOnReject() {
+	if !e.cfg.AdaptiveN {
+		return
+	}
+	e.admitStreak = 0
+	if e.curN > 1 {
+		e.curN /= 2
+	}
+}

@@ -1,0 +1,60 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+)
+
+// ExampleRun simulates the paper's headline configuration with
+// deterministic rotational latency so the output is exact.
+func ExampleRun() {
+	cfg := core.Default() // k=25 runs, D=5 disks, calibrated drive
+	cfg.N = 10            // intra-run prefetch depth
+	cfg.InterRun = true   // prefetch one run on every disk per miss
+	cfg.Synchronized = true
+	cfg.CacheBlocks = cache.Unlimited
+	cfg.Disk.Rotational = disk.RotConstant // exact-output determinism
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("strategy: %s\n", cfg.StrategyName())
+	fmt.Printf("merged %d blocks in %.1f s\n", res.MergedBlocks, res.TotalTime.Seconds())
+	fmt.Printf("success ratio: %.1f\n", res.SuccessRatio())
+	// Output:
+	// strategy: all-disks-one-run/sync
+	// merged 25000 blocks in 18.0 s
+	// success ratio: 1.0
+}
+
+// ExampleRunTrials averages independent replications, as the paper
+// does for every plotted point.
+func ExampleRunTrials() {
+	cfg := core.Default()
+	cfg.K, cfg.D, cfg.BlocksPerRun = 10, 2, 100
+	cfg.CacheBlocks = cfg.DefaultCache()
+
+	agg, err := core.RunTrials(cfg, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d trials, all merged %d blocks\n", agg.Trials, agg.Results[0].MergedBlocks)
+	// Output:
+	// 5 trials, all merged 1000 blocks
+}
+
+// ExampleConfig_DefaultCache shows the paper's natural cache sizes.
+func ExampleConfig_DefaultCache() {
+	cfg := core.Default()
+	cfg.K, cfg.D, cfg.N = 25, 5, 10
+	fmt.Println("intra-run:", cfg.DefaultCache())
+	cfg.InterRun = true
+	fmt.Println("inter-run:", cfg.DefaultCache())
+	// Output:
+	// intra-run: 250
+	// inter-run: 300
+}

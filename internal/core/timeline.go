@@ -1,0 +1,57 @@
+package core
+
+import "repro/internal/sim"
+
+// Interval is one busy span of a disk on the simulated clock.
+type Interval struct {
+	Start, End sim.Time
+}
+
+// timelineCap bounds recorded intervals per disk so pathological runs
+// cannot exhaust memory; at the paper's scale a disk serves a few
+// thousand requests, well under the cap.
+const timelineCap = 100_000
+
+// timeline collects per-disk busy intervals when Config.RecordTimeline
+// is set.
+type timeline struct {
+	disks   [][]Interval
+	openAt  []sim.Time
+	open    []bool
+	dropped bool
+}
+
+func newTimeline(n int) *timeline {
+	return &timeline{
+		disks:  make([][]Interval, n),
+		openAt: make([]sim.Time, n),
+		open:   make([]bool, n),
+	}
+}
+
+// observe records a busy transition of disk i.
+func (t *timeline) observe(i int, at sim.Time, busy bool) {
+	if busy {
+		t.open[i] = true
+		t.openAt[i] = at
+		return
+	}
+	if !t.open[i] {
+		return
+	}
+	t.open[i] = false
+	if len(t.disks[i]) >= timelineCap {
+		t.dropped = true
+		return
+	}
+	t.disks[i] = append(t.disks[i], Interval{Start: t.openAt[i], End: at})
+}
+
+// finish closes any interval still open at the end instant.
+func (t *timeline) finish(at sim.Time) {
+	for i := range t.open {
+		if t.open[i] {
+			t.observe(i, at, false)
+		}
+	}
+}

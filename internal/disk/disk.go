@@ -1,0 +1,344 @@
+package disk
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// Request is one I/O operation: Count contiguous blocks starting at
+// block address Start (a flat block index on the disk). The disk pays
+// one seek plus one rotational latency, then delivers blocks every
+// TransferPerBlock.
+//
+// Completion is observable at three grains: OnBlock fires per block as
+// it lands (i is the 0-based index within the request), FirstDone
+// completes with the first block (what an unsynchronized demand fetch
+// waits on) and Done completes with the last.
+type Request struct {
+	Start int
+	Count int
+
+	// OnBlock, if non-nil, is invoked at the simulated instant each
+	// block finishes transferring.
+	OnBlock func(i int, at sim.Time)
+
+	// FirstDone and Done are created by Submit.
+	FirstDone *sim.Completion
+	Done      *sim.Completion
+
+	// Tag carries caller context (e.g. which run the fetch serves).
+	Tag any
+
+	enqueuedAt sim.Time
+}
+
+// RequestTrace is the dispatch record of one request, for structured
+// request logging.
+type RequestTrace struct {
+	Disk     int      `json:"disk"`
+	Start    int      `json:"start_block"`
+	Count    int      `json:"blocks"`
+	Tag      any      `json:"tag,omitempty"`
+	Enqueued sim.Time `json:"enqueued_ms"`
+	Started  sim.Time `json:"started_ms"`
+	Seek     sim.Time `json:"seek_ms"`
+	Rotation sim.Time `json:"rotation_ms"`
+	Transfer sim.Time `json:"transfer_ms"`
+}
+
+// Stats aggregates a disk's activity over a run.
+type Stats struct {
+	Requests int64
+	Blocks   int64
+
+	SeekTime     sim.Time
+	RotTime      sim.Time
+	TransferTime sim.Time
+	BusyTime     sim.Time
+
+	QueueWait    sim.Time // total time requests spent queued
+	MaxQueueLen  int
+	SeekDistance int64 // total cylinders travelled
+}
+
+// MeanServiceTime returns average (seek + latency + transfer) per request.
+func (s Stats) MeanServiceTime() sim.Time {
+	if s.Requests == 0 {
+		return 0
+	}
+	return s.BusyTime / sim.Time(s.Requests)
+}
+
+// MeanBlockTime returns the average busy time charged per block.
+func (s Stats) MeanBlockTime() sim.Time {
+	if s.Blocks == 0 {
+		return 0
+	}
+	return s.BusyTime / sim.Time(s.Blocks)
+}
+
+// MeanSeekDistance returns the average seek distance per request, in
+// cylinders.
+func (s Stats) MeanSeekDistance() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.SeekDistance) / float64(s.Requests)
+}
+
+// Disk is one independently operating drive. It is driven entirely by
+// kernel events; Submit may be called from process or event context.
+type Disk struct {
+	id     int
+	k      *sim.Kernel
+	params Params
+	rot    *rng.Stream
+
+	blocksPerCyl int
+	curCylinder  int
+	busy         bool
+	queue        []*Request
+	sweepDir     int // SCAN direction: +1 toward higher cylinders
+
+	stats Stats
+
+	// onBusy, if set, observes busy-state transitions; the engine uses
+	// it to integrate cross-disk concurrency.
+	onBusy func(at sim.Time, busy bool)
+
+	// onRequest, if set, observes every request at dispatch.
+	onRequest func(RequestTrace)
+}
+
+// New creates a disk on kernel k. The rotation stream must be dedicated
+// to this disk so that draws are reproducible irrespective of the other
+// disks' traffic.
+func New(k *sim.Kernel, id int, params Params, rot *rng.Stream) (*Disk, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if rot == nil {
+		return nil, fmt.Errorf("disk %d: nil rotation stream", id)
+	}
+	return &Disk{
+		id:           id,
+		k:            k,
+		params:       params,
+		rot:          rot,
+		blocksPerCyl: params.BlocksPerCylinder(),
+		sweepDir:     1,
+	}, nil
+}
+
+// ID returns the disk's identifier.
+func (d *Disk) ID() int { return d.id }
+
+// Params returns the disk's configuration.
+func (d *Disk) Params() Params { return d.params }
+
+// Stats returns a snapshot of accumulated statistics.
+func (d *Disk) Stats() Stats { return d.stats }
+
+// Busy reports whether a request is in service.
+func (d *Disk) Busy() bool { return d.busy }
+
+// QueueLen returns the number of requests waiting (excluding in service).
+func (d *Disk) QueueLen() int { return len(d.queue) }
+
+// CurrentCylinder returns the head position.
+func (d *Disk) CurrentCylinder() int { return d.curCylinder }
+
+// SetBusyObserver installs fn to be called on every busy transition.
+func (d *Disk) SetBusyObserver(fn func(at sim.Time, busy bool)) { d.onBusy = fn }
+
+// SetRequestObserver installs fn to be called at every request dispatch
+// with its timing decomposition.
+func (d *Disk) SetRequestObserver(fn func(RequestTrace)) { d.onRequest = fn }
+
+// CylinderOf maps a block address to its cylinder.
+func (d *Disk) CylinderOf(block int) int { return block / d.blocksPerCyl }
+
+// Submit enqueues req and starts service if the disk is idle. It
+// initializes req.FirstDone and req.Done and returns req for chaining.
+func (d *Disk) Submit(req *Request) *Request {
+	if req.Count <= 0 {
+		panic(fmt.Sprintf("disk %d: request with Count=%d", d.id, req.Count))
+	}
+	last := req.Start + req.Count - 1
+	if req.Start < 0 || last >= d.params.CapacityBlocks() {
+		panic(fmt.Sprintf("disk %d: request [%d, %d] outside capacity %d blocks",
+			d.id, req.Start, last, d.params.CapacityBlocks()))
+	}
+	req.FirstDone = d.k.NewCompletion()
+	req.Done = d.k.NewCompletion()
+	req.enqueuedAt = d.k.Now()
+	d.queue = append(d.queue, req)
+	if len(d.queue) > d.stats.MaxQueueLen {
+		d.stats.MaxQueueLen = len(d.queue)
+	}
+	if !d.busy {
+		d.startNext()
+	}
+	return req
+}
+
+// pickNext removes and returns the next request according to the queue
+// discipline. The queue is non-empty.
+func (d *Disk) pickNext() *Request {
+	idx := 0
+	switch d.params.Discipline {
+	case FCFS:
+		// Arrival order: the head of the queue.
+	case SSTF:
+		best := math.MaxInt
+		for i, r := range d.queue {
+			dist := d.CylinderOf(r.Start) - d.curCylinder
+			if dist < 0 {
+				dist = -dist
+			}
+			if dist < best {
+				best = dist
+				idx = i
+			}
+		}
+	case SCAN:
+		idx = d.pickSCAN()
+	}
+	r := d.queue[idx]
+	d.queue = append(d.queue[:idx], d.queue[idx+1:]...)
+	return r
+}
+
+// pickSCAN returns the queue index of the nearest request in the
+// current sweep direction, reversing the sweep when nothing lies
+// ahead. Ties on distance break by arrival order.
+func (d *Disk) pickSCAN() int {
+	nearest := func(dir int) (int, bool) {
+		bestIdx, bestDist := -1, math.MaxInt
+		for i, r := range d.queue {
+			delta := (d.CylinderOf(r.Start) - d.curCylinder) * dir
+			if delta < 0 {
+				continue
+			}
+			if delta < bestDist {
+				bestDist = delta
+				bestIdx = i
+			}
+		}
+		return bestIdx, bestIdx >= 0
+	}
+	if idx, ok := nearest(d.sweepDir); ok {
+		return idx
+	}
+	d.sweepDir = -d.sweepDir
+	idx, _ := nearest(d.sweepDir)
+	return idx
+}
+
+// rotationalLatency draws the latency for a request starting at the
+// given block, at the current simulated time.
+func (d *Disk) rotationalLatency(startBlock int, at sim.Time) sim.Time {
+	R := d.params.AvgRotational
+	switch d.params.Rotational {
+	case RotConstant:
+		return R
+	case RotUniform:
+		return sim.Time(d.rot.UniformRange(0, 2*float64(R)))
+	case RotPositional:
+		// One revolution takes 2R. The angular offset of a block within
+		// its track is its index within the track over the track size.
+		period := 2 * float64(R)
+		if period == 0 {
+			return 0
+		}
+		blocksPerTrack := d.params.Geometry.SectorsPerTrack * d.params.Geometry.SectorBytes / d.params.BlockBytes
+		if blocksPerTrack == 0 {
+			blocksPerTrack = 1
+		}
+		target := float64(startBlock%blocksPerTrack) / float64(blocksPerTrack) * period
+		now := math.Mod(float64(at), period)
+		lat := target - now
+		if lat < 0 {
+			lat += period
+		}
+		return sim.Time(lat)
+	default:
+		panic("disk: unknown rotational model")
+	}
+}
+
+// startNext dispatches the head-of-queue request. Called only when idle
+// and the queue is non-empty.
+func (d *Disk) startNext() {
+	req := d.pickNext()
+	d.setBusy(true)
+	now := d.k.Now()
+	d.stats.Requests++
+	d.stats.Blocks += int64(req.Count)
+	d.stats.QueueWait += now - req.enqueuedAt
+
+	targetCyl := d.CylinderOf(req.Start)
+	distance := targetCyl - d.curCylinder
+	if distance < 0 {
+		distance = -distance
+	}
+	seek := d.params.SeekTime(distance)
+	rot := d.rotationalLatency(req.Start, now+seek)
+	transfer := sim.Time(req.Count) * d.params.TransferPerBlock
+
+	d.stats.SeekDistance += int64(distance)
+	d.stats.SeekTime += seek
+	d.stats.RotTime += rot
+	d.stats.TransferTime += transfer
+	d.stats.BusyTime += seek + rot + transfer
+
+	// The head finishes over the last block transferred.
+	d.curCylinder = d.CylinderOf(req.Start + req.Count - 1)
+
+	if d.onRequest != nil {
+		d.onRequest(RequestTrace{
+			Disk:     d.id,
+			Start:    req.Start,
+			Count:    req.Count,
+			Tag:      req.Tag,
+			Enqueued: req.enqueuedAt,
+			Started:  now,
+			Seek:     seek,
+			Rotation: rot,
+			Transfer: transfer,
+		})
+	}
+
+	for i := 0; i < req.Count; i++ {
+		i := i
+		at := seek + rot + sim.Time(i+1)*d.params.TransferPerBlock
+		d.k.After(at, func() {
+			if req.OnBlock != nil {
+				req.OnBlock(i, d.k.Now())
+			}
+			if i == 0 {
+				req.FirstDone.Complete()
+			}
+			if i == req.Count-1 {
+				req.Done.Complete()
+				d.setBusy(false)
+				if len(d.queue) > 0 {
+					d.startNext()
+				}
+			}
+		})
+	}
+}
+
+func (d *Disk) setBusy(b bool) {
+	if d.busy == b {
+		return
+	}
+	d.busy = b
+	if d.onBusy != nil {
+		d.onBusy(d.k.Now(), b)
+	}
+}

@@ -1,0 +1,232 @@
+// Package disk models the magnetic disks of the paper's I/O subsystem:
+// a linear seek (S per cylinder), rotational latency with mean R (half a
+// revolution), and a fixed per-block transfer time T. Requests for N
+// contiguous blocks pay one seek and one rotational latency and then
+// stream blocks at T apiece — the amortization that intra-run prefetching
+// exploits.
+//
+// Each Disk serves one request at a time from a queue (FCFS in the
+// paper; SSTF is provided for the scheduling ablation) and reports each
+// block of a multi-block request as it lands, which is what lets the
+// unsynchronized strategies resume the CPU after the demand block while
+// the tail of the fetch is still streaming.
+package disk
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// Geometry describes the mechanical layout used to map block addresses
+// to cylinders. Only BlocksPerCylinder derives from it; the simulator
+// does not model head switches within a cylinder.
+type Geometry struct {
+	Cylinders       int // seek range; must cover the resident data
+	Heads           int // surfaces per cylinder
+	SectorsPerTrack int
+	SectorBytes     int
+}
+
+// Bytes returns the total capacity in bytes.
+func (g Geometry) Bytes() int64 {
+	return int64(g.Cylinders) * int64(g.Heads) * int64(g.SectorsPerTrack) * int64(g.SectorBytes)
+}
+
+// CylinderBytes returns the capacity of one cylinder in bytes.
+func (g Geometry) CylinderBytes() int {
+	return g.Heads * g.SectorsPerTrack * g.SectorBytes
+}
+
+// RotationalModel selects how rotational latency is drawn per request.
+type RotationalModel int
+
+const (
+	// RotUniform draws latency uniformly from [0, 2R): the paper's model,
+	// whose mean is the quoted average latency R.
+	RotUniform RotationalModel = iota
+	// RotConstant charges exactly R on every request. Useful for
+	// validating simulation against the closed-form expressions without
+	// sampling noise.
+	RotConstant
+	// RotPositional tracks platter angle through simulated time and
+	// charges the true rotation needed to bring the target block under
+	// the head (an ablation beyond the paper's model).
+	RotPositional
+)
+
+// String implements fmt.Stringer.
+func (m RotationalModel) String() string {
+	switch m {
+	case RotUniform:
+		return "uniform"
+	case RotConstant:
+		return "constant"
+	case RotPositional:
+		return "positional"
+	default:
+		return fmt.Sprintf("RotationalModel(%d)", int(m))
+	}
+}
+
+// Discipline selects the queueing policy of a disk.
+type Discipline int
+
+const (
+	// FCFS serves requests in arrival order (the paper's model).
+	FCFS Discipline = iota
+	// SSTF serves the queued request with the shortest seek from the
+	// current head position (scheduling ablation).
+	SSTF
+	// SCAN serves requests in elevator order: the head sweeps in its
+	// current direction, serving the nearest request ahead of it, and
+	// reverses when none remain (scheduling ablation).
+	SCAN
+)
+
+// String implements fmt.Stringer.
+func (d Discipline) String() string {
+	switch d {
+	case FCFS:
+		return "fcfs"
+	case SSTF:
+		return "sstf"
+	case SCAN:
+		return "scan"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// SeekModel selects the seek-time curve.
+type SeekModel int
+
+const (
+	// SeekLinear charges distance × SeekPerCylinder — the paper's
+	// model, which it notes "overestimates the seek penalty" but keeps
+	// for simplicity.
+	SeekLinear SeekModel = iota
+	// SeekAffineSqrt charges SeekSettle + SeekSqrtCoeff·√distance for
+	// any non-zero move: the square-root acceleration-limited curve of
+	// real drives (seek-model ablation).
+	SeekAffineSqrt
+)
+
+// String implements fmt.Stringer.
+func (m SeekModel) String() string {
+	switch m {
+	case SeekLinear:
+		return "linear"
+	case SeekAffineSqrt:
+		return "affine-sqrt"
+	default:
+		return fmt.Sprintf("SeekModel(%d)", int(m))
+	}
+}
+
+// Params fully specifies a disk's timing and layout model.
+type Params struct {
+	Geometry Geometry
+
+	BlockBytes int // unit of transfer
+
+	SeekPerCylinder  sim.Time // S
+	AvgRotational    sim.Time // R: half of one revolution
+	TransferPerBlock sim.Time // T
+
+	// Seek selects the seek curve; SeekSettle and SeekSqrtCoeff apply
+	// only to SeekAffineSqrt.
+	Seek          SeekModel
+	SeekSettle    sim.Time // fixed head-settle component
+	SeekSqrtCoeff sim.Time // per-√cylinder component
+
+	Rotational RotationalModel
+	Discipline Discipline
+}
+
+// SeekTime returns the time to move the head dist cylinders (dist >= 0).
+func (p Params) SeekTime(dist int) sim.Time {
+	if dist <= 0 {
+		return 0
+	}
+	switch p.Seek {
+	case SeekLinear:
+		return sim.Time(dist) * p.SeekPerCylinder
+	case SeekAffineSqrt:
+		return p.SeekSettle + sim.Time(math.Sqrt(float64(dist)))*p.SeekSqrtCoeff
+	default:
+		panic("disk: unknown seek model")
+	}
+}
+
+// BlocksPerCylinder returns how many transfer blocks fit in a cylinder.
+func (p Params) BlocksPerCylinder() int {
+	return p.Geometry.CylinderBytes() / p.BlockBytes
+}
+
+// CapacityBlocks returns the disk capacity in transfer blocks.
+func (p Params) CapacityBlocks() int {
+	return p.Geometry.Cylinders * p.BlocksPerCylinder()
+}
+
+// Validate reports the first configuration error, or nil.
+func (p Params) Validate() error {
+	switch {
+	case p.Geometry.Cylinders <= 0 || p.Geometry.Heads <= 0 ||
+		p.Geometry.SectorsPerTrack <= 0 || p.Geometry.SectorBytes <= 0:
+		return fmt.Errorf("disk: invalid geometry %+v", p.Geometry)
+	case p.BlockBytes <= 0:
+		return fmt.Errorf("disk: BlockBytes = %d", p.BlockBytes)
+	case p.Geometry.CylinderBytes()%p.BlockBytes != 0:
+		return fmt.Errorf("disk: cylinder size %d not a multiple of block size %d",
+			p.Geometry.CylinderBytes(), p.BlockBytes)
+	case p.SeekPerCylinder < 0 || p.AvgRotational < 0 || p.TransferPerBlock <= 0:
+		return fmt.Errorf("disk: non-positive timing parameters S=%v R=%v T=%v",
+			p.SeekPerCylinder, p.AvgRotational, p.TransferPerBlock)
+	}
+	return nil
+}
+
+// ModernParams returns a late-2000s 7200 RPM SATA drive for the
+// "does this still matter" extension experiment: ~100 MB/s streaming
+// (0.04 ms per 4 KB block), 4.17 ms average rotational latency, and a
+// much flatter seek profile. Mechanical latency dwarfs transfer even
+// more than in 1992, so prefetching matters more, not less.
+func ModernParams() Params {
+	return Params{
+		Geometry: Geometry{
+			Cylinders:       20000,
+			Heads:           4,
+			SectorsPerTrack: 512,
+			SectorBytes:     4096,
+		},
+		BlockBytes:       4096,
+		SeekPerCylinder:  sim.Ms(0.0005),
+		AvgRotational:    sim.Ms(4.17),
+		TransferPerBlock: sim.Ms(0.04),
+		Rotational:       RotUniform,
+		Discipline:       FCFS,
+	}
+}
+
+// PaperParams returns the calibrated reconstruction of the paper's
+// RA-series disk model (see DESIGN.md §1): a 4096-byte block, 64 blocks
+// per cylinder, S = 0.02 ms/cylinder, R = 8.33 ms (3600 RPM) and
+// T = 2.66 ms/block, FCFS queueing and uniform rotational latency.
+func PaperParams() Params {
+	return Params{
+		Geometry: Geometry{
+			Cylinders:       1600,
+			Heads:           4,
+			SectorsPerTrack: 16,
+			SectorBytes:     4096,
+		},
+		BlockBytes:       4096,
+		SeekPerCylinder:  sim.Ms(0.02),
+		AvgRotational:    sim.Ms(8.33),
+		TransferPerBlock: sim.Ms(2.66),
+		Rotational:       RotUniform,
+		Discipline:       FCFS,
+	}
+}

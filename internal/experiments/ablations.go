@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+	"repro/internal/layout"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/workload"
+)
+
+// ablationAdmission compares the paper's all-or-demand admission policy
+// against the rejected greedy alternative over the figure-3.5a cache
+// sweep (k=25, D=5, N=10). The paper's Markov-analysis argument is that
+// greedy's partial fetches delay the return to full-concurrency states;
+// all-or-demand should win at mid-size caches.
+func ablationAdmission(o Options) (Output, error) {
+	o = o.normalized()
+	f := &table.Figure{
+		ID: "ablation-admission", Title: "Admission policy (25 runs, 5 disks, N=10)",
+		XLabel: "cache size (blocks)", YLabel: "execution time (seconds)",
+	}
+	for _, pol := range []cache.AdmissionPolicy{cache.AllOrDemand, cache.Greedy} {
+		s := f.AddSeries(pol.String())
+		for _, c := range cacheGrid(25, 1200, o.Quick) {
+			cfg := baseConfig(25, 5, 10)
+			cfg.InterRun = true
+			cfg.CacheBlocks = c
+			cfg.Admission = pol
+			secs, _, err := meanTotal(cfg, o)
+			if err != nil {
+				return Output{}, err
+			}
+			s.Point(float64(c), secs)
+		}
+	}
+	return Output{Figures: []*table.Figure{f}}, nil
+}
+
+// ablationRunChoice compares how the inter-run strategy picks the run
+// to prefetch on each disk: random (paper), least-buffered,
+// round-robin, and an oracle with perfect lookahead. All policies
+// replay the same pre-drawn depletion traces so differences are purely
+// the policy's. The paper's TR found informed (head-position) policies
+// marginal; buffer-informed and oracle choices quantify the actual
+// headroom at a constrained cache.
+func ablationRunChoice(o Options) (Output, error) {
+	o = o.normalized()
+	t := &table.Table{
+		Title:   "Inter-run prefetch run choice (k=25, D=5, N=10, C=500, shared traces)",
+		Columns: []string{"policy", "total (s)", "success ratio"},
+	}
+	const k, blocks = 25, 1000
+	policies := []core.PrefetchRunPolicy{
+		core.RandomRun, core.LeastBufferedRun, core.RoundRobinRun, core.OracleRun,
+	}
+	totals := make(map[core.PrefetchRunPolicy]*stats.Summary)
+	ratios := make(map[core.PrefetchRunPolicy]*stats.Summary)
+	for _, pol := range policies {
+		totals[pol] = &stats.Summary{}
+		ratios[pol] = &stats.Summary{}
+	}
+	for trial := 0; trial < o.Trials; trial++ {
+		trace := uniformTrace(o.Seed+uint64(trial), k, blocks)
+		for _, pol := range policies {
+			cfg := baseConfig(k, 5, 10)
+			cfg.InterRun = true
+			cfg.CacheBlocks = 500
+			cfg.RunPolicy = pol
+			cfg.Seed = o.Seed + uint64(trial)
+			cfg.Workload = &workload.Sequence{Runs: append([]int(nil), trace...)}
+			res, err := core.Run(cfg)
+			if err != nil {
+				return Output{}, err
+			}
+			totals[pol].Add(res.TotalTime.Seconds())
+			ratios[pol].Add(res.SuccessRatio())
+		}
+	}
+	for _, pol := range policies {
+		t.AddRow(pol.String(),
+			fmt.Sprintf("%.2f", totals[pol].Mean()),
+			fmt.Sprintf("%.3f", ratios[pol].Mean()))
+	}
+	return Output{Tables: []*table.Table{t}}, nil
+}
+
+// uniformTrace draws a full depletion order with exactly `blocks`
+// depletions per run, uniformly interleaved — the Kwan–Baer model as a
+// replayable sequence.
+func uniformTrace(seed uint64, k, blocks int) []int {
+	trace := make([]int, 0, k*blocks)
+	for r := 0; r < k; r++ {
+		for b := 0; b < blocks; b++ {
+			trace = append(trace, r)
+		}
+	}
+	r := rng.New(seed).Split("trace")
+	r.Shuffle(len(trace), func(i, j int) { trace[i], trace[j] = trace[j], trace[i] })
+	return trace
+}
+
+// ablationRotation compares the paper's mean-uniform rotational model
+// against a constant-latency and a positional (angle-tracking) model.
+func ablationRotation(o Options) (Output, error) {
+	o = o.normalized()
+	t := &table.Table{
+		Title:   "Rotational latency model (k=25, D=5, N=10, inter-run, ample cache)",
+		Columns: []string{"model", "total (s)"},
+	}
+	for _, m := range []disk.RotationalModel{disk.RotUniform, disk.RotConstant, disk.RotPositional} {
+		cfg := interConfig(25, 5, 10)
+		cfg.Disk.Rotational = m
+		secs, _, err := meanTotal(cfg, o)
+		if err != nil {
+			return Output{}, err
+		}
+		t.AddRow(m.String(), fmt.Sprintf("%.2f", secs))
+	}
+	return Output{Tables: []*table.Table{t}}, nil
+}
+
+// ablationPlacement compares run placements. Striping a run over all
+// disks parallelizes even a single intra-run fetch, at the price of
+// occupying every arm; the bench shows where each wins.
+func ablationPlacement(o Options) (Output, error) {
+	o = o.normalized()
+	t := &table.Table{
+		Title:   "Run placement (k=25, D=5, N=10, intra-run only)",
+		Columns: []string{"placement", "strategy", "total (s)"},
+	}
+	for _, pl := range []layout.Placement{layout.RoundRobin, layout.Clustered, layout.Striped} {
+		for _, inter := range []bool{false, true} {
+			cfg := baseConfig(25, 5, 10)
+			cfg.Placement = pl
+			cfg.InterRun = inter
+			if inter {
+				cfg.CacheBlocks = cache.Unlimited
+			}
+			secs, _, err := meanTotal(cfg, o)
+			if err != nil {
+				return Output{}, err
+			}
+			name := "demand-run-only"
+			if inter {
+				name = "all-disks-one-run"
+			}
+			t.AddRow(pl.String(), name, fmt.Sprintf("%.2f", secs))
+		}
+	}
+	return Output{Tables: []*table.Table{t}}, nil
+}
+
+// ablationSeekModel compares the paper's linear seek curve against an
+// acceleration-limited affine-√distance curve (2 ms settle +
+// 0.5 ms·√cylinders, a realistic late-80s drive), for each strategy.
+// The paper concedes its linear law is only an approximation; the
+// bench shows the strategy ordering — and inter-run's dominance — is
+// robust to the curve's shape.
+func ablationSeekModel(o Options) (Output, error) {
+	o = o.normalized()
+	t := &table.Table{
+		Title:   "Seek curve (k=25, D=5, N=10): linear (paper) vs affine-sqrt",
+		Columns: []string{"strategy", "linear (s)", "affine-sqrt (s)"},
+	}
+	strategies := []struct {
+		name  string
+		n     int
+		inter bool
+	}{
+		{"no prefetch", 1, false},
+		{"demand-run-only N=10", 10, false},
+		{"all-disks-one-run N=10", 10, true},
+	}
+	for _, s := range strategies {
+		row := []string{s.name}
+		for _, model := range []disk.SeekModel{disk.SeekLinear, disk.SeekAffineSqrt} {
+			cfg := baseConfig(25, 5, s.n)
+			cfg.InterRun = s.inter
+			if s.inter {
+				cfg.CacheBlocks = cache.Unlimited
+			}
+			cfg.Disk.Seek = model
+			cfg.Disk.SeekSettle = 2      // ms: head settle
+			cfg.Disk.SeekSqrtCoeff = 0.5 // ms per sqrt(cylinder)
+			secs, _, err := meanTotal(cfg, o)
+			if err != nil {
+				return Output{}, err
+			}
+			row = append(row, fmt.Sprintf("%.2f", secs))
+		}
+		t.AddRow(row...)
+	}
+	return Output{Tables: []*table.Table{t}}, nil
+}
+
+// ablationScheduler compares FCFS (paper) against SSTF queueing under
+// inter-run prefetching, where queues actually form.
+func ablationScheduler(o Options) (Output, error) {
+	o = o.normalized()
+	t := &table.Table{
+		Title:   "Disk queue discipline (k=50, D=5, N=10, inter-run, C=800)",
+		Columns: []string{"discipline", "total (s)", "success ratio"},
+	}
+	for _, disc := range []disk.Discipline{disk.FCFS, disk.SSTF, disk.SCAN} {
+		cfg := baseConfig(50, 5, 10)
+		cfg.InterRun = true
+		cfg.CacheBlocks = 800
+		cfg.Disk.Discipline = disc
+		secs, success, err := meanTotal(cfg, o)
+		if err != nil {
+			return Output{}, err
+		}
+		t.AddRow(disc.String(), fmt.Sprintf("%.2f", secs), fmt.Sprintf("%.3f", success))
+	}
+	return Output{Tables: []*table.Table{t}}, nil
+}

@@ -1,0 +1,323 @@
+// Package experiments defines one reproducible generator per figure of
+// the paper's evaluation (§3), plus the anchor-validation tables and
+// the design-choice ablations called out in DESIGN.md. Each generator
+// returns text-renderable figures whose series mirror the paper's
+// legends, so the harness output can be compared against the paper
+// panel by panel.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/table"
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	// Trials is the number of independent replications averaged per
+	// point (the paper averages 5).
+	Trials int
+	// Seed is the base seed; trials use Seed, Seed+1, ...
+	Seed uint64
+	// Quick coarsens sweep grids for use in tests and smoke runs.
+	Quick bool
+}
+
+// DefaultOptions mirrors the paper: 5 trials.
+func DefaultOptions() Options { return Options{Trials: 5, Seed: 1} }
+
+func (o Options) normalized() Options {
+	if o.Trials <= 0 {
+		o.Trials = 5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Output is what one experiment produces.
+type Output struct {
+	Figures []*table.Figure
+	Tables  []*table.Table
+}
+
+// Spec names one experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(Options) (Output, error)
+}
+
+// All returns every experiment, paper figures first, then validation
+// and ablations.
+func All() []Spec {
+	return []Spec{
+		{ID: "3.2a", Title: "Total time vs N, k=25 (1000 blocks/run), unsynchronized", Run: fig32a},
+		{ID: "3.2b", Title: "Total time vs N, k=50, unsynchronized", Run: fig32b},
+		{ID: "3.2c", Title: "Total time vs N, expanded view, 5 disks, k=25 and 50", Run: fig32c},
+		{ID: "3.3", Title: "Effect of finite-speed CPU, k=25, D=5, N=10", Run: fig33},
+		{ID: "3.5a", Title: "Execution time and success ratio vs cache size, 25 runs, 5 disks", Run: fig35a},
+		{ID: "3.5b", Title: "Execution time and success ratio vs cache size, 50 runs, 5 disks", Run: fig35b},
+		{ID: "3.5c", Title: "Execution time and success ratio vs cache size, 50 runs, 10 disks", Run: fig35c},
+		{ID: "anchors", Title: "Closed-form anchors (eqs 1-5) vs simulation", Run: anchors},
+		{ID: "concurrency", Title: "Urn-game concurrency vs simulated overlap", Run: concurrency},
+		{ID: "tr-markov", Title: "TR Markov analysis: admission-policy parallelism", Run: trMarkov},
+		{ID: "ablation-admission", Title: "Cache admission: all-or-demand vs greedy", Run: ablationAdmission},
+		{ID: "ablation-runchoice", Title: "Inter-run prefetch run choice policies", Run: ablationRunChoice},
+		{ID: "ablation-rotation", Title: "Rotational latency models", Run: ablationRotation},
+		{ID: "ablation-placement", Title: "Run placement: round-robin vs clustered vs striped", Run: ablationPlacement},
+		{ID: "ablation-scheduler", Title: "Disk queue discipline: FCFS vs SSTF", Run: ablationScheduler},
+		{ID: "ablation-seekmodel", Title: "Seek curve: linear vs affine-sqrt", Run: ablationSeekModel},
+		{ID: "ext-write-traffic", Title: "Extension: modelling the output write traffic", Run: extWriteTraffic},
+		{ID: "ext-multipass", Title: "Extension: multi-pass regime and planner", Run: extMultiPass},
+		{ID: "ext-realtrace", Title: "Extension: real merge trace replayed through the simulator", Run: extRealTrace},
+		{ID: "ext-adaptive-n", Title: "Extension: adaptive prefetch depth (AIMD controller)", Run: extAdaptiveN},
+		{ID: "ext-k100", Title: "Extension: the k=100 sweep the paper omitted", Run: extK100},
+		{ID: "ext-modern-disk", Title: "Extension: the strategies on a late-2000s drive", Run: extModernDisk},
+	}
+}
+
+// Find returns the spec whose ID matches, or an error listing options.
+func Find(id string) (Spec, error) {
+	for _, s := range All() {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	var ids []string
+	for _, s := range All() {
+		ids = append(ids, s.ID)
+	}
+	return Spec{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}
+
+// nGrid returns the intra-run prefetch depths swept on the x axis of
+// figure 3.2.
+func nGrid(quick bool) []int {
+	if quick {
+		return []int{1, 5, 15, 30}
+	}
+	return []int{1, 2, 3, 5, 8, 10, 15, 20, 25, 30}
+}
+
+// meanTotal runs cfg for o.Trials trials and returns the mean total
+// time in seconds and the mean success ratio.
+func meanTotal(cfg core.Config, o Options) (secs, success float64, err error) {
+	cfg.Seed = o.Seed
+	agg, err := core.RunTrials(cfg, o.Trials)
+	if err != nil {
+		return 0, 0, err
+	}
+	return agg.TotalTime.Mean(), agg.SuccessRatio.Mean(), nil
+}
+
+// baseConfig returns the paper's configuration for k runs on d disks
+// with intra-run depth n.
+func baseConfig(k, d, n int) core.Config {
+	cfg := core.Default()
+	cfg.K = k
+	cfg.D = d
+	cfg.N = n
+	cfg.CacheBlocks = cfg.DefaultCache()
+	return cfg
+}
+
+// intraConfig is "Demand Run Only": intra-run prefetching with the
+// paper's natural kN cache.
+func intraConfig(k, d, n int) core.Config {
+	return baseConfig(k, d, n)
+}
+
+// interConfig is "All Disks One Run": combined inter+intra prefetching.
+// The figure-3.2 curves assume an ample cache (success ratio 1).
+func interConfig(k, d, n int) core.Config {
+	cfg := baseConfig(k, d, n)
+	cfg.InterRun = true
+	cfg.CacheBlocks = cache.Unlimited
+	return cfg
+}
+
+// sweepN fills one series with mean total seconds over the N grid.
+func sweepN(s *table.Series, mk func(n int) core.Config, o Options) error {
+	for _, n := range nGrid(o.Quick) {
+		secs, _, err := meanTotal(mk(n), o)
+		if err != nil {
+			return err
+		}
+		s.Point(float64(n), secs)
+	}
+	return nil
+}
+
+func fig32a(o Options) (Output, error) {
+	o = o.normalized()
+	f := &table.Figure{
+		ID: "3.2a", Title: "Fetching N Blocks (25 runs)",
+		XLabel: "N", YLabel: "total time (seconds)",
+	}
+	curves := []struct {
+		label string
+		mk    func(n int) core.Config
+	}{
+		{"All Disks One Run (25 runs, 5 disks)", func(n int) core.Config { return interConfig(25, 5, n) }},
+		{"Demand Run Only (25 runs, 5 disks)", func(n int) core.Config { return intraConfig(25, 5, n) }},
+		{"Demand Run Only (25 runs, 1 disk)", func(n int) core.Config { return intraConfig(25, 1, n) }},
+	}
+	for _, c := range curves {
+		if err := sweepN(f.AddSeries(c.label), c.mk, o); err != nil {
+			return Output{}, err
+		}
+	}
+	return Output{Figures: []*table.Figure{f}}, nil
+}
+
+func fig32b(o Options) (Output, error) {
+	o = o.normalized()
+	f := &table.Figure{
+		ID: "3.2b", Title: "Fetching N Blocks (50 runs)",
+		XLabel: "N", YLabel: "total time (seconds)",
+	}
+	curves := []struct {
+		label string
+		mk    func(n int) core.Config
+	}{
+		{"All Disks One Run (50 runs, 10 disks)", func(n int) core.Config { return interConfig(50, 10, n) }},
+		{"All Disks One Run (50 runs, 5 disks)", func(n int) core.Config { return interConfig(50, 5, n) }},
+		{"Demand Run Only (50 runs, 10 disks)", func(n int) core.Config { return intraConfig(50, 10, n) }},
+		{"Demand Run Only (50 runs, 1 disk)", func(n int) core.Config { return intraConfig(50, 1, n) }},
+	}
+	for _, c := range curves {
+		if err := sweepN(f.AddSeries(c.label), c.mk, o); err != nil {
+			return Output{}, err
+		}
+	}
+	return Output{Figures: []*table.Figure{f}}, nil
+}
+
+func fig32c(o Options) (Output, error) {
+	o = o.normalized()
+	f := &table.Figure{
+		ID: "3.2c", Title: "Fetching N Blocks: Expanded View (5 Disks, 25 and 50 runs)",
+		XLabel: "N", YLabel: "total time (seconds)",
+	}
+	curves := []struct {
+		label string
+		mk    func(n int) core.Config
+	}{
+		{"All Disks One Run (25 runs, 5 disks)", func(n int) core.Config { return interConfig(25, 5, n) }},
+		{"All Disks One Run (50 runs, 5 disks)", func(n int) core.Config { return interConfig(50, 5, n) }},
+		{"Demand Run Only (25 runs, 5 disks)", func(n int) core.Config { return intraConfig(25, 5, n) }},
+		{"Demand Run Only (50 runs, 5 disks)", func(n int) core.Config { return intraConfig(50, 5, n) }},
+	}
+	for _, c := range curves {
+		if err := sweepN(f.AddSeries(c.label), c.mk, o); err != nil {
+			return Output{}, err
+		}
+	}
+	return Output{Figures: []*table.Figure{f}}, nil
+}
+
+func fig33(o Options) (Output, error) {
+	o = o.normalized()
+	f := &table.Figure{
+		ID: "3.3", Title: "Effect of Finite-Speed CPU (25 runs, 5 disks, N=10)",
+		XLabel: "merge time per block (ms)", YLabel: "total execution time (seconds)",
+	}
+	grid := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+	if o.Quick {
+		grid = []float64{0, 0.35, 0.7}
+	}
+	curves := []struct {
+		label string
+		inter bool
+		sync  bool
+	}{
+		{"All Disks One Run (Unsynchronized)", true, false},
+		{"All Disks One Run (Synchronized)", true, true},
+		{"Demand Run Only (Unsynchronized)", false, false},
+		{"Demand Run Only (Synchronized)", false, true},
+	}
+	for _, c := range curves {
+		s := f.AddSeries(c.label)
+		for _, mt := range grid {
+			var cfg core.Config
+			if c.inter {
+				cfg = interConfig(25, 5, 10)
+			} else {
+				cfg = intraConfig(25, 5, 10)
+			}
+			cfg.Synchronized = c.sync
+			cfg.MergeTimePerBlock = sim.Ms(mt)
+			secs, _, err := meanTotal(cfg, o)
+			if err != nil {
+				return Output{}, err
+			}
+			s.Point(mt, secs)
+		}
+	}
+	return Output{Figures: []*table.Figure{f}}, nil
+}
+
+// cacheGrid returns the cache sizes swept for figures 3.5/3.6.
+func cacheGrid(k, maxSize int, quick bool) []int {
+	full := []int{k, 2 * k, 100, 150, 200, 250, 300, 400, 500, 600, 800, 1000, 1200, 1600, 2000, 2400, 2800, 3200, 3500}
+	var grid []int
+	last := 0
+	for _, c := range full {
+		if c <= maxSize && c > last {
+			if quick && len(grid) > 0 && c < last+max(2*k, 200) {
+				continue
+			}
+			grid = append(grid, c)
+			last = c
+		}
+	}
+	return grid
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// cacheSweep produces the paired figures 3.5x (time) and 3.6x
+// (success ratio) for one (k, D) shape.
+func cacheSweep(idTime, idRatio string, k, d, maxCache int, o Options) (Output, error) {
+	o = o.normalized()
+	ft := &table.Figure{
+		ID:     idTime,
+		Title:  fmt.Sprintf("Total Execution Time vs. Cache Size: All Disks One Run (%d runs, %d disks)", k, d),
+		XLabel: "cache size (blocks)", YLabel: "execution time (seconds)",
+	}
+	fr := &table.Figure{
+		ID:     idRatio,
+		Title:  fmt.Sprintf("Effect of Cache Size: All Disks One Run (%d runs, %d disks)", k, d),
+		XLabel: "cache size (blocks)", YLabel: "success ratio",
+	}
+	for _, n := range []int{1, 5, 10} {
+		st := ft.AddSeries(fmt.Sprintf("N=%d", n))
+		sr := fr.AddSeries(fmt.Sprintf("N=%d", n))
+		for _, c := range cacheGrid(k, maxCache, o.Quick) {
+			cfg := baseConfig(k, d, n)
+			cfg.InterRun = true
+			cfg.CacheBlocks = c
+			secs, success, err := meanTotal(cfg, o)
+			if err != nil {
+				return Output{}, err
+			}
+			st.Point(float64(c), secs)
+			sr.Point(float64(c), success)
+		}
+	}
+	return Output{Figures: []*table.Figure{ft, fr}}, nil
+}
+
+func fig35a(o Options) (Output, error) { return cacheSweep("3.5a", "3.6a", 25, 5, 1200, o) }
+func fig35b(o Options) (Output, error) { return cacheSweep("3.5b", "3.6b", 50, 5, 1600, o) }
+func fig35c(o Options) (Output, error) { return cacheSweep("3.5c", "3.6c", 50, 10, 3500, o) }

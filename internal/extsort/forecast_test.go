@@ -1,0 +1,150 @@
+package extsort
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+)
+
+// TestForecastMatchesActualMerge is the forecasting theorem in test
+// form: the trace predicted from last keys alone equals the trace the
+// real merge records.
+func TestForecastMatchesActualMerge(t *testing.T) {
+	cfg := testConfig()
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		data := randomData(seed*100+41, 300)
+		in, err := NewSliceReader(data, cfg.RecordSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		store := NewMemStore()
+		var out SliceWriter
+		st, err := Sort(cfg, in, store, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forecast, err := ForecastTrace(cfg, store)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(forecast.Runs) != len(st.Trace.Runs) {
+			t.Fatalf("seed %d: forecast %d entries, actual %d",
+				seed, len(forecast.Runs), len(st.Trace.Runs))
+		}
+		for i := range forecast.Runs {
+			if forecast.Runs[i] != st.Trace.Runs[i] {
+				t.Fatalf("seed %d: traces diverge at %d: forecast %d, actual %d",
+					seed, i, forecast.Runs[i], st.Trace.Runs[i])
+			}
+		}
+	}
+}
+
+func TestForecastMatchesWithDuplicateKeys(t *testing.T) {
+	// Heavy duplication stresses the tie-break rules.
+	cfg := testConfig()
+	var data []byte
+	for i := 0; i < 240; i++ {
+		rec := make([]byte, 8)
+		binary.BigEndian.PutUint64(rec, uint64(i%7))
+		data = append(data, rec...)
+	}
+	in, err := NewSliceReader(data, cfg.RecordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewMemStore()
+	var out SliceWriter
+	st, err := Sort(cfg, in, store, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forecast, err := ForecastTrace(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range forecast.Runs {
+		if forecast.Runs[i] != st.Trace.Runs[i] {
+			t.Fatalf("duplicate-key traces diverge at %d", i)
+		}
+	}
+}
+
+func TestForecastMatchesReplacementSelection(t *testing.T) {
+	cfg := testConfig()
+	cfg.Formation = ReplacementSelection
+	data := randomData(77, 500)
+	in, err := NewSliceReader(data, cfg.RecordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewMemStore()
+	var out SliceWriter
+	st, err := Sort(cfg, in, store, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forecast, err := ForecastTrace(cfg, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range forecast.Runs {
+		if forecast.Runs[i] != st.Trace.Runs[i] {
+			t.Fatalf("rs traces diverge at %d", i)
+		}
+	}
+}
+
+func TestForecastPropertyQuick(t *testing.T) {
+	cfg := testConfig()
+	seed := uint64(9000)
+	err := quick.Check(func(sz uint16) bool {
+		n := int(sz%200) + 1
+		seed++
+		data := randomData(seed, n)
+		in, err := NewSliceReader(data, cfg.RecordSize)
+		if err != nil {
+			return false
+		}
+		store := NewMemStore()
+		var out SliceWriter
+		st, err := Sort(cfg, in, store, &out)
+		if err != nil {
+			return false
+		}
+		forecast, err := ForecastTrace(cfg, store)
+		if err != nil {
+			return false
+		}
+		if len(forecast.Runs) != len(st.Trace.Runs) {
+			return false
+		}
+		for i := range forecast.Runs {
+			if forecast.Runs[i] != st.Trace.Runs[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForecastEmptyStore(t *testing.T) {
+	forecast, err := ForecastTrace(testConfig(), NewMemStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(forecast.Runs) != 0 {
+		t.Fatal("empty store produced entries")
+	}
+}
+
+func TestForecastRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.RecordSize = 0
+	if _, err := ForecastTrace(cfg, NewMemStore()); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}

@@ -1,0 +1,210 @@
+package extsort
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// subStore exposes a subset of a parent store's runs as a RunStore, so
+// one merge group of a pass can be driven by the ordinary Merge.
+type subStore struct {
+	parent RunStore
+	runs   []int
+}
+
+func (s *subStore) CreateRun() (RunWriter, error) {
+	return nil, fmt.Errorf("extsort: subStore is read-only")
+}
+
+func (s *subStore) OpenRun(i int) (RunReader, error) {
+	if i < 0 || i >= len(s.runs) {
+		return nil, fmt.Errorf("extsort: sub-run %d of %d", i, len(s.runs))
+	}
+	return s.parent.OpenRun(s.runs[i])
+}
+
+func (s *subStore) NumRuns() int { return len(s.runs) }
+
+// blockSink re-blocks a record stream into a RunWriter: the output of
+// one merge group becomes a single run of the next pass.
+type blockSink struct {
+	cfg    Config
+	w      RunWriter
+	block  []byte
+	inBuf  int
+	blocks int
+}
+
+func newBlockSink(cfg Config, w RunWriter) *blockSink {
+	return &blockSink{cfg: cfg, w: w, block: make([]byte, 0, cfg.BlockSize)}
+}
+
+// Write implements RecordWriter.
+func (b *blockSink) Write(rec []byte) error {
+	b.block = append(b.block, rec...)
+	b.inBuf++
+	if b.inBuf == b.cfg.RecordsPerBlock() {
+		return b.flush()
+	}
+	return nil
+}
+
+func (b *blockSink) flush() error {
+	if b.inBuf == 0 {
+		return nil
+	}
+	if err := b.w.WriteBlock(b.block); err != nil {
+		return err
+	}
+	b.block = b.block[:0]
+	b.inBuf = 0
+	b.blocks++
+	return nil
+}
+
+// Close flushes the ragged tail and closes the run.
+func (b *blockSink) Close() error {
+	if err := b.flush(); err != nil {
+		return err
+	}
+	return b.w.Close()
+}
+
+// PassResult describes one executed merge pass of a multi-pass sort.
+type PassResult struct {
+	Index   int
+	RunsIn  int
+	RunsOut int
+	FanIn   int
+
+	// GroupTraces holds the block-depletion trace of every merge group,
+	// aligned with GroupRunBlocks (the per-run block counts of each
+	// group's inputs). Together they replay through the simulator.
+	GroupTraces    []*Trace
+	GroupRunBlocks [][]int
+}
+
+// MultiPassResult describes a completed multi-pass sort.
+type MultiPassResult struct {
+	Records int64
+	Passes  []PassResult
+}
+
+// MultiPassSort sorts input into out, merging at most fanIn runs at a
+// time: run formation, then as many merge passes as needed. Every
+// intermediate pass materializes its output runs through stores
+// produced by newStore (called once per pass). The returned result
+// carries the real depletion traces of every merge group, ready for
+// SimulateMerge.
+func MultiPassSort(cfg Config, fanIn int, input RecordReader, newStore func() RunStore, out RecordWriter) (MultiPassResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return MultiPassResult{}, err
+	}
+	if fanIn < 2 {
+		return MultiPassResult{}, fmt.Errorf("extsort: fan-in %d < 2", fanIn)
+	}
+	store := newStore()
+	records, err := FormRuns(cfg, input, store)
+	if err != nil {
+		return MultiPassResult{}, err
+	}
+	result := MultiPassResult{Records: records}
+	if store.NumRuns() == 0 {
+		return result, nil
+	}
+
+	blocksOf := func(s RunStore, run int) (int, error) {
+		r, err := s.OpenRun(run)
+		if err != nil {
+			return 0, err
+		}
+		return r.Blocks(), nil
+	}
+
+	passIdx := 0
+	for store.NumRuns() > 1 {
+		runsIn := store.NumRuns()
+		pass := PassResult{Index: passIdx, RunsIn: runsIn, FanIn: fanIn}
+		lastPass := (runsIn+fanIn-1)/fanIn == 1
+
+		var next RunStore
+		if !lastPass {
+			next = newStore()
+		}
+		for lo := 0; lo < runsIn; lo += fanIn {
+			hi := lo + fanIn
+			if hi > runsIn {
+				hi = runsIn
+			}
+			group := &subStore{parent: store}
+			var groupBlocks []int
+			for r := lo; r < hi; r++ {
+				group.runs = append(group.runs, r)
+				n, err := blocksOf(store, r)
+				if err != nil {
+					return MultiPassResult{}, err
+				}
+				groupBlocks = append(groupBlocks, n)
+			}
+			trace := &Trace{}
+
+			var sink RecordWriter
+			var bs *blockSink
+			if lastPass {
+				sink = out
+			} else {
+				w, err := next.CreateRun()
+				if err != nil {
+					return MultiPassResult{}, err
+				}
+				bs = newBlockSink(cfg, w)
+				sink = bs
+			}
+			if _, err := Merge(cfg, group, sink, trace); err != nil {
+				return MultiPassResult{}, err
+			}
+			if bs != nil {
+				if err := bs.Close(); err != nil {
+					return MultiPassResult{}, err
+				}
+			}
+			pass.GroupTraces = append(pass.GroupTraces, trace)
+			pass.GroupRunBlocks = append(pass.GroupRunBlocks, groupBlocks)
+		}
+		if lastPass {
+			pass.RunsOut = 1
+		} else {
+			pass.RunsOut = next.NumRuns()
+			store = next
+		}
+		result.Passes = append(result.Passes, pass)
+		passIdx++
+		if lastPass {
+			break
+		}
+	}
+	return result, nil
+}
+
+// SimulatePasses times every merge group of a multi-pass sort under
+// the given strategy configuration and returns the per-pass and total
+// simulated I/O times. Groups within a pass run on distinct data, so
+// their times add when executed back to back on one input array (the
+// conservative sequential schedule).
+func SimulatePasses(res MultiPassResult, base core.Config) (perPass []sim.Time, total sim.Time, err error) {
+	for _, pass := range res.Passes {
+		var passTime sim.Time
+		for g := range pass.GroupTraces {
+			r, err := SimulateMerge(pass.GroupRunBlocks[g], pass.GroupTraces[g], base)
+			if err != nil {
+				return nil, 0, fmt.Errorf("extsort: pass %d group %d: %w", pass.Index, g, err)
+			}
+			passTime += r.TotalTime
+		}
+		perPass = append(perPass, passTime)
+		total += passTime
+	}
+	return perPass, total, nil
+}

@@ -1,0 +1,197 @@
+package extsort
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+)
+
+func runMultiPass(t *testing.T, cfg Config, fanIn int, data []byte) (MultiPassResult, []byte) {
+	t.Helper()
+	in, err := NewSliceReader(data, cfg.RecordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out SliceWriter
+	res, err := MultiPassSort(cfg, fanIn, in, func() RunStore { return NewMemStore() }, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, out.Data
+}
+
+func TestMultiPassSortsCorrectly(t *testing.T) {
+	cfg := testConfig() // 8 records per memory load
+	data := randomData(51, 1000)
+	res, got := runMultiPass(t, cfg, 4, data)
+	if !bytes.Equal(got, sortedCopy(data, 8)) {
+		t.Fatal("multi-pass output wrong")
+	}
+	if res.Records != 1000 {
+		t.Fatalf("records = %d", res.Records)
+	}
+	// 1000 records / 8 per load = 125 runs; fan-in 4: 125 -> 32 -> 8 -> 2 -> 1.
+	if len(res.Passes) != 4 {
+		t.Fatalf("passes = %d, want 4", len(res.Passes))
+	}
+	wantRuns := []int{125, 32, 8, 2}
+	for i, p := range res.Passes {
+		if p.RunsIn != wantRuns[i] {
+			t.Fatalf("pass %d runs in = %d, want %d", i, p.RunsIn, wantRuns[i])
+		}
+		if len(p.GroupTraces) != (p.RunsIn+3)/4 {
+			t.Fatalf("pass %d groups = %d", i, len(p.GroupTraces))
+		}
+	}
+	if res.Passes[len(res.Passes)-1].RunsOut != 1 {
+		t.Fatal("last pass did not finish")
+	}
+}
+
+func TestMultiPassSinglePassWhenFanInCovers(t *testing.T) {
+	cfg := testConfig()
+	data := randomData(52, 100) // 13 runs
+	res, got := runMultiPass(t, cfg, 16, data)
+	if !bytes.Equal(got, sortedCopy(data, 8)) {
+		t.Fatal("output wrong")
+	}
+	if len(res.Passes) != 1 {
+		t.Fatalf("passes = %d, want 1", len(res.Passes))
+	}
+}
+
+func TestMultiPassTraceConservation(t *testing.T) {
+	// Every pass processes every block exactly once: its group traces
+	// must sum to the pass's total input blocks, and group run counts
+	// must match trace lengths.
+	cfg := testConfig()
+	data := randomData(53, 600)
+	res, _ := runMultiPass(t, cfg, 3, data)
+	for _, p := range res.Passes {
+		traced := 0
+		for g, tr := range p.GroupTraces {
+			want := 0
+			for _, b := range p.GroupRunBlocks[g] {
+				want += b
+			}
+			if len(tr.Runs) != want {
+				t.Fatalf("pass %d group %d: trace %d entries for %d blocks",
+					p.Index, g, len(tr.Runs), want)
+			}
+			traced += len(tr.Runs)
+		}
+		// The pass reads all data blocks (ragged tails may change the
+		// block count between passes, but only by packing).
+		if traced == 0 {
+			t.Fatalf("pass %d traced nothing", p.Index)
+		}
+	}
+}
+
+func TestMultiPassEmptyAndValidation(t *testing.T) {
+	cfg := testConfig()
+	res, got := runMultiPass(t, cfg, 4, nil)
+	if len(got) != 0 || len(res.Passes) != 0 {
+		t.Fatal("empty input mishandled")
+	}
+	in, _ := NewSliceReader(nil, cfg.RecordSize)
+	if _, err := MultiPassSort(cfg, 1, in, func() RunStore { return NewMemStore() }, &SliceWriter{}); err == nil {
+		t.Fatal("fan-in 1 accepted")
+	}
+	bad := cfg
+	bad.RecordSize = 0
+	if _, err := MultiPassSort(bad, 4, in, func() RunStore { return NewMemStore() }, &SliceWriter{}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestSimulatePasses(t *testing.T) {
+	cfg := testConfig()
+	cfg.MemoryBlocks = 8 // 32-record runs -> 8 blocks per run
+	data := randomData(54, 2000)
+	res, got := runMultiPass(t, cfg, 4, data)
+	if !bytes.Equal(got, sortedCopy(data, 8)) {
+		t.Fatal("output wrong")
+	}
+
+	base := core.Default()
+	base.D = 2
+	base.N = 2
+	base.InterRun = true
+	base.CacheBlocks = cache.Unlimited
+	base.Disk.Rotational = disk.RotConstant
+
+	perPass, total, err := SimulatePasses(res, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perPass) != len(res.Passes) {
+		t.Fatalf("per-pass count %d != passes %d", len(perPass), len(res.Passes))
+	}
+	var sum float64
+	for i, p := range perPass {
+		if p <= 0 {
+			t.Fatalf("pass %d time = %v", i, p)
+		}
+		sum += float64(p)
+	}
+	if float64(total) != sum {
+		t.Fatalf("total %v != sum %v", total, sum)
+	}
+
+	// Prefetching must help multi-pass sorts too.
+	slow := base
+	slow.N = 1
+	slow.InterRun = false
+	_, slowTotal, err := SimulatePasses(res, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slowTotal <= total {
+		t.Fatalf("no-prefetch (%v) not slower than inter+intra (%v)", slowTotal, total)
+	}
+}
+
+func TestSubStoreReadOnly(t *testing.T) {
+	s := &subStore{parent: NewMemStore()}
+	if _, err := s.CreateRun(); err == nil {
+		t.Fatal("subStore CreateRun succeeded")
+	}
+	if _, err := s.OpenRun(0); err == nil {
+		t.Fatal("subStore OpenRun of missing run succeeded")
+	}
+}
+
+func TestBlockSinkRaggedTail(t *testing.T) {
+	cfg := testConfig() // 4 records per block
+	store := NewMemStore()
+	w, _ := store.CreateRun()
+	sink := newBlockSink(cfg, w)
+	rec := make([]byte, 8)
+	for i := 0; i < 6; i++ { // 1.5 blocks
+		if err := sink.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := store.OpenRun(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Blocks() != 2 {
+		t.Fatalf("blocks = %d, want 2", r.Blocks())
+	}
+	buf := make([]byte, 64)
+	n, err := r.ReadBlock(1, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 16 { // 2 ragged records
+		t.Fatalf("tail block = %d bytes", n)
+	}
+}

@@ -1,0 +1,237 @@
+package extsort
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// FormRuns consumes input and writes sorted runs into store using the
+// configured formation algorithm. It returns the number of records
+// processed.
+func FormRuns(cfg Config, input RecordReader, store RunStore) (int64, error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	switch cfg.Formation {
+	case LoadSort:
+		return formLoadSort(cfg, input, store)
+	case ReplacementSelection:
+		return formReplacementSelection(cfg, input, store)
+	default:
+		return 0, fmt.Errorf("extsort: unknown formation %v", cfg.Formation)
+	}
+}
+
+// writeRun writes records (already sorted) as blocks of a new run.
+func writeRun(cfg Config, store RunStore, records [][]byte) error {
+	w, err := store.CreateRun()
+	if err != nil {
+		return err
+	}
+	perBlock := cfg.RecordsPerBlock()
+	block := make([]byte, 0, cfg.BlockSize)
+	inBlock := 0
+	for _, rec := range records {
+		block = append(block, rec...)
+		inBlock++
+		if inBlock == perBlock {
+			if err := w.WriteBlock(block); err != nil {
+				return err
+			}
+			block = block[:0]
+			inBlock = 0
+		}
+	}
+	if inBlock > 0 {
+		if err := w.WriteBlock(block); err != nil {
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// formLoadSort sorts one memory load at a time: the scheme the paper's
+// merge phase assumes ("sorting one memory-load of data at a time, and
+// writing each run out to external disk storage").
+func formLoadSort(cfg Config, input RecordReader, store RunStore) (int64, error) {
+	capacity := cfg.MemoryBlocks * cfg.RecordsPerBlock()
+	buf := make([][]byte, 0, capacity)
+	arena := make([]byte, 0, capacity*cfg.RecordSize)
+	var total int64
+
+	flush := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		sort.SliceStable(buf, func(i, j int) bool { return cfg.less(buf[i], buf[j]) })
+		if err := writeRun(cfg, store, buf); err != nil {
+			return err
+		}
+		buf = buf[:0]
+		arena = arena[:0]
+		return nil
+	}
+
+	for {
+		rec, err := input.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return total, err
+		}
+		if len(rec) != cfg.RecordSize {
+			return total, ErrShortRecord
+		}
+		start := len(arena)
+		arena = append(arena, rec...)
+		buf = append(buf, arena[start:len(arena):len(arena)])
+		total++
+		if len(buf) == capacity {
+			if err := flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, flush()
+}
+
+// rsItem is a replacement-selection heap entry: records tagged with the
+// run epoch they belong to. Ordering is (epoch, key).
+type rsItem struct {
+	epoch int
+	rec   []byte
+}
+
+// rsHeap is a binary min-heap of rsItems.
+type rsHeap struct {
+	cfg   Config
+	items []rsItem
+}
+
+func (h *rsHeap) less(a, b rsItem) bool {
+	if a.epoch != b.epoch {
+		return a.epoch < b.epoch
+	}
+	return h.cfg.less(a.rec, b.rec)
+}
+
+func (h *rsHeap) push(it rsItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *rsHeap) pop() rsItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.less(h.items[l], h.items[smallest]) {
+			smallest = l
+		}
+		if r < len(h.items) && h.less(h.items[r], h.items[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+}
+
+// formReplacementSelection streams records through a selection heap
+// (Knuth 5.4.1R): records smaller than the last output are fenced into
+// the next run's epoch. Expected run length is twice the memory size
+// for random input.
+func formReplacementSelection(cfg Config, input RecordReader, store RunStore) (int64, error) {
+	capacity := cfg.MemoryBlocks * cfg.RecordsPerBlock()
+	h := &rsHeap{cfg: cfg}
+	var total int64
+
+	readOne := func() (rsItem, bool, error) {
+		rec, err := input.Next()
+		if errors.Is(err, io.EOF) {
+			return rsItem{}, false, nil
+		}
+		if err != nil {
+			return rsItem{}, false, err
+		}
+		if len(rec) != cfg.RecordSize {
+			return rsItem{}, false, ErrShortRecord
+		}
+		cp := make([]byte, len(rec))
+		copy(cp, rec)
+		total++
+		return rsItem{rec: cp}, true, nil
+	}
+
+	// Prime the heap.
+	for len(h.items) < capacity {
+		it, ok, err := readOne()
+		if err != nil {
+			return total, err
+		}
+		if !ok {
+			break
+		}
+		h.push(it)
+	}
+	if len(h.items) == 0 {
+		return 0, nil
+	}
+
+	epoch := 0
+	var current [][]byte // records of the run being emitted
+	flush := func() error {
+		if len(current) == 0 {
+			return nil
+		}
+		if err := writeRun(cfg, store, current); err != nil {
+			return err
+		}
+		current = nil
+		return nil
+	}
+
+	for len(h.items) > 0 {
+		it := h.pop()
+		if it.epoch > epoch {
+			// Every remaining item belongs to a later run: close this one.
+			if err := flush(); err != nil {
+				return total, err
+			}
+			epoch = it.epoch
+		}
+		current = append(current, it.rec)
+
+		next, ok, err := readOne()
+		if err != nil {
+			return total, err
+		}
+		if ok {
+			next.epoch = epoch
+			// A record smaller than the one just emitted cannot join the
+			// current run; fence it into the next epoch.
+			if cfg.less(next.rec, it.rec) {
+				next.epoch = epoch + 1
+			}
+			h.push(next)
+		}
+	}
+	return total, flush()
+}

@@ -1,0 +1,134 @@
+package extsort
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/disk"
+)
+
+// sortForSim runs a real sort sized to produce a healthy number of runs
+// and returns its store block counts and trace.
+func sortForSim(t *testing.T, seed uint64, records int, formation RunFormation) ([]int, *Trace) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.MemoryBlocks = 16 // 16-block runs so prefetch depths up to 4 are meaningful
+	cfg.Formation = formation
+	in, err := NewSliceReader(randomData(seed, records), cfg.RecordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := NewMemStore()
+	w := NewCountingWriter(cfg)
+	st, err := Sort(cfg, in, store, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Ordered() {
+		t.Fatal("sort output unordered")
+	}
+	return store.RunBlocks(), st.Trace
+}
+
+func simBase(d, n int, inter bool) core.Config {
+	base := core.Default()
+	base.D = d
+	base.N = n
+	base.InterRun = inter
+	base.CacheBlocks = cache.Unlimited
+	base.Disk.Rotational = disk.RotConstant
+	return base
+}
+
+func TestSimulateMergeRealTrace(t *testing.T) {
+	runBlocks, trace := sortForSim(t, 11, 600, LoadSort)
+	if len(runBlocks) < 4 {
+		t.Fatalf("only %d runs", len(runBlocks))
+	}
+	res, err := SimulateMerge(runBlocks, trace, simBase(2, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range runBlocks {
+		total += b
+	}
+	if res.MergedBlocks != int64(total) {
+		t.Fatalf("simulated %d blocks, sort had %d", res.MergedBlocks, total)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("no simulated time")
+	}
+}
+
+func TestSimulateMergeStrategiesOrdering(t *testing.T) {
+	// On a real trace, the paper's ordering must hold: combined
+	// prefetching beats intra-run beats none.
+	runBlocks, trace := sortForSim(t, 12, 1500, LoadSort)
+	none, err := SimulateMerge(runBlocks, trace, simBase(4, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, err := SimulateMerge(runBlocks, trace, simBase(4, 4, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter, err := SimulateMerge(runBlocks, trace, simBase(4, 4, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(inter.TotalTime < intra.TotalTime && intra.TotalTime < none.TotalTime) {
+		t.Fatalf("ordering violated on real trace: inter=%v intra=%v none=%v",
+			inter.TotalTime, intra.TotalTime, none.TotalTime)
+	}
+}
+
+func TestSimulateMergeUnequalRuns(t *testing.T) {
+	// Replacement selection produces unequal runs; the simulator must
+	// accept them via RunLengths.
+	runBlocks, trace := sortForSim(t, 13, 900, ReplacementSelection)
+	unequal := false
+	for _, b := range runBlocks[1:] {
+		if b != runBlocks[0] {
+			unequal = true
+		}
+	}
+	if !unequal && len(runBlocks) > 2 {
+		t.Log("note: replacement selection produced equal runs this seed")
+	}
+	res, err := SimulateMerge(runBlocks, trace, simBase(2, 2, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("no simulated time")
+	}
+}
+
+func TestSimulateMergeValidation(t *testing.T) {
+	if _, err := SimulateMerge(nil, &Trace{Runs: []int{0}}, simBase(1, 1, false)); err == nil {
+		t.Fatal("no runs accepted")
+	}
+	if _, err := SimulateMerge([]int{3}, nil, simBase(1, 1, false)); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+	if _, err := SimulateMerge([]int{3}, &Trace{Runs: []int{0, 0}}, simBase(1, 1, false)); err == nil {
+		t.Fatal("trace/block mismatch accepted")
+	}
+}
+
+func TestSimulateMergeClampsD(t *testing.T) {
+	// Two runs but a 5-disk base: D must clamp to K.
+	runBlocks, trace := sortForSim(t, 14, 60, LoadSort)
+	if len(runBlocks) >= 5 {
+		t.Skip("seed produced too many runs for the clamp case")
+	}
+	res, err := SimulateMerge(runBlocks, trace, simBase(5, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerDisk) > len(runBlocks) {
+		t.Fatalf("%d disks for %d runs", len(res.PerDisk), len(runBlocks))
+	}
+}

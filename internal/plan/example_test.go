@@ -1,0 +1,51 @@
+package plan_test
+
+import (
+	"fmt"
+
+	"repro/internal/plan"
+)
+
+// ExampleBuild plans a sort whose initial runs exceed any single
+// merge's fan-in, forcing multiple passes.
+func ExampleBuild() {
+	p, err := plan.Build(plan.Job{
+		TotalBlocks:  100_000, // ~400 MB at 4 KB blocks
+		MemoryBlocks: 100,     // 1000 initial runs
+		D:            5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("initial runs: %d\n", p.InitialRuns)
+	fmt.Printf("merge passes: %d\n", p.NumPasses())
+	fmt.Printf("final pass leaves %d run\n", p.Passes[p.NumPasses()-1].RunsOut)
+	// Output:
+	// initial runs: 1000
+	// merge passes: 3
+	// final pass leaves 1 run
+}
+
+// ExampleBuildCalibrated shows the simulation-scored planner choosing
+// the pass strategy itself: in the deep multi-pass regime it switches
+// to intra-run prefetching, which the analytic expressions miss.
+func ExampleBuildCalibrated() {
+	p, err := plan.BuildCalibrated(plan.Job{
+		TotalBlocks:  1 << 16, // 64k blocks
+		MemoryBlocks: 256,
+		D:            5,
+		InterRun:     true, // allowed, not forced
+	}, 1)
+	if err != nil {
+		panic(err)
+	}
+	pass := p.Passes[0]
+	strategy := "intra-run"
+	if pass.InterRun {
+		strategy = "inter+intra"
+	}
+	fmt.Printf("pass 0 merges %d runs at fan-in %d using %s prefetching\n",
+		pass.RunsIn, pass.FanIn, strategy)
+	// Output:
+	// pass 0 merges 256 runs at fan-in 16 using intra-run prefetching
+}

@@ -1,0 +1,187 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/disk"
+)
+
+func job(blocks int64, memory, d int, inter bool) Job {
+	return Job{
+		TotalBlocks:  blocks,
+		MemoryBlocks: memory,
+		D:            d,
+		InterRun:     inter,
+		Disk:         disk.PaperParams(),
+	}
+}
+
+func TestSinglePassWhenRunsFitFanIn(t *testing.T) {
+	// 25000 blocks, memory 1000: 25 initial runs; fan-in up to 1000/N
+	// easily covers 25 in one pass.
+	p, err := Build(job(25000, 1000, 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InitialRuns != 25 {
+		t.Fatalf("initial runs = %d", p.InitialRuns)
+	}
+	if p.NumPasses() != 1 {
+		t.Fatalf("passes = %d, want 1:\n%s", p.NumPasses(), p)
+	}
+	if p.Passes[0].RunsOut != 1 {
+		t.Fatalf("final pass leaves %d runs", p.Passes[0].RunsOut)
+	}
+}
+
+func TestMultiplePassesWhenMemoryTight(t *testing.T) {
+	// 100000 blocks, memory 100: 1000 initial runs; fan-in at most
+	// ~100, so at least 2 passes.
+	p, err := Build(job(100000, 100, 5, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InitialRuns != 1000 {
+		t.Fatalf("initial runs = %d", p.InitialRuns)
+	}
+	if p.NumPasses() < 2 {
+		t.Fatalf("passes = %d, want >= 2:\n%s", p.NumPasses(), p)
+	}
+	last := p.Passes[len(p.Passes)-1]
+	if last.RunsOut != 1 {
+		t.Fatalf("plan does not end in one run:\n%s", p)
+	}
+	// Run counts chain correctly.
+	for i := 1; i < len(p.Passes); i++ {
+		if p.Passes[i].RunsIn != p.Passes[i-1].RunsOut {
+			t.Fatalf("pass chain broken:\n%s", p)
+		}
+	}
+}
+
+func TestMoreMemoryNeverWorse(t *testing.T) {
+	small, err := Build(job(50000, 100, 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build(job(50000, 1000, 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Estimated > small.Estimated {
+		t.Fatalf("more memory estimated slower: %v vs %v", big.Estimated, small.Estimated)
+	}
+	if big.NumPasses() > small.NumPasses() {
+		t.Fatalf("more memory, more passes: %d vs %d", big.NumPasses(), small.NumPasses())
+	}
+}
+
+func TestMoreDisksNeverWorse(t *testing.T) {
+	d1, err := Build(job(50000, 500, 1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d5, err := Build(job(50000, 500, 5, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d5.Estimated > d1.Estimated {
+		t.Fatalf("more disks estimated slower: %v vs %v", d5.Estimated, d1.Estimated)
+	}
+}
+
+func TestAlreadySortedData(t *testing.T) {
+	p, err := Build(job(500, 1000, 5, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InitialRuns != 1 || p.NumPasses() != 0 || p.Estimated != 0 {
+		t.Fatalf("tiny job plan wrong: %+v", p)
+	}
+	if p.FormationTime <= 0 {
+		t.Fatal("formation sweep missing")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Job{
+		job(0, 100, 5, false),
+		job(100, 1, 5, false),
+		job(100, 100, 0, false),
+	}
+	for i, j := range bad {
+		if _, err := Build(j); err == nil {
+			t.Fatalf("bad job %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultDiskFilledIn(t *testing.T) {
+	j := job(1000, 100, 2, false)
+	j.Disk = disk.Params{} // zero: Build must substitute the paper's
+	if _, err := Build(j); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanStringReadable(t *testing.T) {
+	p, err := Build(job(100000, 100, 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"initial runs 1000", "pass 0", "total merge estimate"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("plan string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestSimulatePassAgreesWithEstimate(t *testing.T) {
+	p, err := Build(job(25000, 600, 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPasses() != 1 {
+		t.Fatalf("expected single pass:\n%s", p)
+	}
+	simT, res, err := p.SimulatePass(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MergedBlocks == 0 {
+		t.Fatal("nothing simulated")
+	}
+	// The analytic pass estimate uses the synchronized expressions and
+	// assumes a saturated success ratio; the unsynchronized simulation
+	// should land within a moderate band of it.
+	ratio := float64(simT) / float64(p.Passes[0].Estimated)
+	if math.IsNaN(ratio) || ratio < 0.4 || ratio > 1.7 {
+		t.Fatalf("simulated/estimated = %v (sim %v, est %v)", ratio, simT, p.Passes[0].Estimated)
+	}
+}
+
+func TestSimulatePassCapsLongRuns(t *testing.T) {
+	// 2M blocks, memory 200: very long second-pass runs must be capped
+	// to the geometry and still simulate.
+	p, err := Build(job(2_000_000, 200, 5, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumPasses() < 2 {
+		t.Fatalf("expected multi-pass:\n%s", p)
+	}
+	last := p.NumPasses() - 1
+	simT, _, err := p.SimulatePass(last, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simT <= 0 {
+		t.Fatal("no simulated time")
+	}
+	if _, _, err := p.SimulatePass(99, 1); err == nil {
+		t.Fatal("out-of-range pass accepted")
+	}
+}

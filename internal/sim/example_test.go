@@ -1,0 +1,52 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Example demonstrates the process-oriented kernel: two processes
+// sharing a unit resource under simulated time.
+func Example() {
+	k := sim.New()
+	server := k.NewResource(1)
+
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("client-%d", i)
+		k.Spawn(name, func(p *sim.Proc) {
+			p.Acquire(server)
+			p.Sleep(10 * sim.Millisecond)
+			fmt.Printf("%s served at %v\n", p.Name(), p.Now())
+			server.Release()
+		})
+	}
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	fmt.Printf("utilization: %.0f%%\n", 100*server.Utilization())
+	// Output:
+	// client-0 served at 10ms
+	// client-1 served at 20ms
+	// utilization: 100%
+}
+
+// ExampleCompletion shows one-shot synchronization between processes.
+func ExampleCompletion() {
+	k := sim.New()
+	done := k.NewCompletion()
+
+	k.Spawn("io", func(p *sim.Proc) {
+		p.Sleep(25)
+		done.Complete()
+	})
+	k.Spawn("cpu", func(p *sim.Proc) {
+		p.Await(done)
+		fmt.Printf("resumed at %v\n", p.Now())
+	})
+	if err := k.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// resumed at 25ms
+}

@@ -1,0 +1,135 @@
+// Package sim is a deterministic process-oriented discrete-event
+// simulation kernel. It is the Go substrate standing in for the Rice CSIM
+// package the paper's simulator was built on.
+//
+// The kernel owns a virtual clock and an event calendar. Work is
+// expressed either as plain scheduled callbacks (Kernel.At / Kernel.After)
+// or as processes: goroutines that run one at a time under the kernel's
+// control and may block on simulated time (Proc.Sleep), on one-shot
+// completions (Completion), on broadcast signals (Signal), or on FCFS
+// resources (Resource).
+//
+// Determinism: at any instant exactly one goroutine — the kernel's or one
+// process's — is runnable; handoffs use unbuffered channels, and
+// simultaneous events fire in schedule order (a monotone sequence number
+// breaks ties). Two runs of the same program with the same inputs produce
+// identical event orderings, which the validation tests rely on.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrDeadlock is returned by Run when processes remain parked but the
+// event calendar is empty: no event can ever wake them.
+var ErrDeadlock = errors.New("sim: deadlock: live processes but no pending events")
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before the calendar drained.
+var ErrStopped = errors.New("sim: stopped")
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by time, then by scheduling order.
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event        { return h[0] }
+func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
+func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+
+// Kernel is a single simulated timeline. A Kernel and everything
+// scheduled on it must be used from one OS thread of control at a time;
+// the process mechanism enforces this for processes it manages.
+type Kernel struct {
+	now     Time
+	cal     eventHeap
+	seq     uint64
+	stopped bool
+
+	// park is the rendezvous on which a running process hands control
+	// back to the kernel (or to whichever event callback resumed it).
+	park chan struct{}
+
+	// live counts processes that have started and not yet finished.
+	live int
+
+	trace Tracer
+}
+
+// New returns an empty kernel with the clock at zero.
+func New() *Kernel {
+	return &Kernel{park: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// SetTracer installs t to observe kernel activity; nil disables tracing.
+func (k *Kernel) SetTracer(t Tracer) { k.trace = t }
+
+// At schedules fn to run at absolute time t. Scheduling in the past
+// panics: it would silently reorder the timeline.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
+	}
+	k.seq++
+	k.cal.pushEvent(event{at: t, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. Negative d panics.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Stop halts the run loop after the current event completes. Pending
+// events are dropped; parked processes are abandoned (their goroutines
+// are left blocked and will be collected when unreachable — callers that
+// need clean teardown should drain instead of stopping).
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in timestamp order until the calendar is empty.
+// It returns nil on a drained calendar with no live processes,
+// ErrDeadlock if processes remain parked with nothing to wake them, and
+// ErrStopped if Stop was called.
+func (k *Kernel) Run() error { return k.RunUntil(-1) }
+
+// RunUntil executes events with timestamps <= horizon (a negative horizon
+// means "forever"). The clock never advances past the last executed
+// event; if the calendar still holds later events when the horizon is
+// reached, RunUntil sets the clock to the horizon and returns nil.
+func (k *Kernel) RunUntil(horizon Time) error {
+	for len(k.cal) > 0 {
+		if k.stopped {
+			return ErrStopped
+		}
+		if horizon >= 0 && k.cal.peek().at > horizon {
+			k.now = horizon
+			return nil
+		}
+		e := k.cal.popEvent()
+		k.now = e.at
+		e.fn()
+	}
+	if k.stopped {
+		return ErrStopped
+	}
+	if k.live > 0 {
+		return ErrDeadlock
+	}
+	return nil
+}

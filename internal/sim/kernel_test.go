@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	k := New()
+	var order []Time
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		tt := at
+		k.At(tt, func() { order = append(order, tt) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			t.Fatalf("events out of order: %v", order)
+		}
+	}
+	if k.Now() != 5 {
+		t.Fatalf("clock = %v, want 5", k.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	k := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(7, func() { order = append(order, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	k := New()
+	var at Time
+	k.At(10, func() {
+		k.After(5, func() { at = k.Now() })
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 15 {
+		t.Fatalf("After fired at %v, want 15", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	k := New()
+	k.At(10, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		k.At(5, func() {})
+	})
+	_ = k.Run()
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	k := New()
+	fired := map[Time]bool{}
+	for _, at := range []Time{1, 2, 3, 10, 20} {
+		tt := at
+		k.At(tt, func() { fired[tt] = true })
+	}
+	if err := k.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if !fired[1] || !fired[2] || !fired[3] || fired[10] || fired[20] {
+		t.Fatalf("wrong events fired: %v", fired)
+	}
+	if k.Now() != 5 {
+		t.Fatalf("clock = %v, want horizon 5", k.Now())
+	}
+	// Resume to the end.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired[20] || k.Now() != 20 {
+		t.Fatalf("resume failed: now=%v fired=%v", k.Now(), fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := New()
+	ran := 0
+	k.At(1, func() { ran++; k.Stop() })
+	k.At(2, func() { ran++ })
+	if err := k.Run(); err != ErrStopped {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", ran)
+	}
+}
+
+func TestHeapPropertyQuick(t *testing.T) {
+	// Property: any multiset of (time, insertion index) pairs comes out
+	// sorted by (time, insertion order).
+	err := quick.Check(func(raw []uint16) bool {
+		k := New()
+		type rec struct {
+			at  Time
+			idx int
+		}
+		var got []rec
+		for i, r := range raw {
+			at := Time(r % 64)
+			i := i
+			k.At(at, func() { got = append(got, rec{at, i}) })
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		want := make([]rec, len(got))
+		copy(want, got)
+		sort.SliceStable(want, func(a, b int) bool {
+			if want[a].at != want[b].at {
+				return want[a].at < want[b].at
+			}
+			return want[a].idx < want[b].idx
+		})
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() []string {
+		k := New()
+		var log []string
+		k.Spawn("a", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Sleep(2)
+				log = append(log, "a")
+			}
+		})
+		k.Spawn("b", func(p *Proc) {
+			for i := 0; i < 5; i++ {
+				p.Sleep(3)
+				log = append(log, "b")
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	for trial := 0; trial < 5; trial++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatal("replay length differs")
+		}
+		for i := range first {
+			if first[i] != again[i] {
+				t.Fatalf("replay diverged at %d: %v vs %v", i, first, again)
+			}
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if s := Ms(3.5).String(); s != "3.5ms" {
+		t.Fatalf("Ms(3.5) = %q", s)
+	}
+	if s := (20 * Second).String(); s != "20s" {
+		t.Fatalf("20s = %q", s)
+	}
+	if Ms(1500).Seconds() != 1.5 {
+		t.Fatal("Seconds conversion wrong")
+	}
+	if (2 * Millisecond).Milliseconds() != 2 {
+		t.Fatal("Milliseconds conversion wrong")
+	}
+}

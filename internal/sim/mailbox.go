@@ -1,0 +1,118 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue between processes, in the
+// style of CSIM mailboxes. Senders never block; receivers park until a
+// message arrives. Messages are delivered in send order, receivers are
+// served in arrival order.
+type Mailbox struct {
+	k        *Kernel
+	messages []any
+	waiters  []func()
+
+	sent     int64
+	received int64
+}
+
+// NewMailbox returns an empty mailbox on kernel k.
+func (k *Kernel) NewMailbox() *Mailbox { return &Mailbox{k: k} }
+
+// Len returns the number of queued, unreceived messages.
+func (m *Mailbox) Len() int { return len(m.messages) }
+
+// Sent returns the total number of messages sent.
+func (m *Mailbox) Sent() int64 { return m.sent }
+
+// Received returns the total number of messages received.
+func (m *Mailbox) Received() int64 { return m.received }
+
+// Send enqueues msg and wakes the longest-waiting receiver, if any.
+// It may be called from process or event context.
+func (m *Mailbox) Send(msg any) {
+	m.sent++
+	m.messages = append(m.messages, msg)
+	if len(m.waiters) > 0 {
+		head := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.k.After(0, head)
+	}
+}
+
+// Receive returns the next message, parking p until one is available.
+func (p *Proc) Receive(m *Mailbox) any {
+	for len(m.messages) == 0 {
+		m.waiters = append(m.waiters, p.waker())
+		p.yield()
+	}
+	msg := m.messages[0]
+	m.messages = m.messages[1:]
+	m.received++
+	return msg
+}
+
+// TryReceive returns the next message without waiting; ok reports
+// whether one was available.
+func (m *Mailbox) TryReceive() (msg any, ok bool) {
+	if len(m.messages) == 0 {
+		return nil, false
+	}
+	msg = m.messages[0]
+	m.messages = m.messages[1:]
+	m.received++
+	return msg, true
+}
+
+// AwaitAny parks p until at least one of cs is complete and returns
+// the index of the first completed one (by slice order among those
+// already complete, or the first to complete thereafter). It panics on
+// an empty slice.
+func (p *Proc) AwaitAny(cs ...*Completion) int {
+	if len(cs) == 0 {
+		panic("sim: AwaitAny of nothing")
+	}
+	for {
+		for i, c := range cs {
+			if c.complete {
+				return i
+			}
+		}
+		// Register with every pending completion; the first Complete
+		// call wakes us. Registrations on the others remain, so a
+		// Completion may wake us spuriously later — the loop re-checks,
+		// and wake ordering keeps this safe because each Complete wakes
+		// every waiter exactly once.
+		w := p.waker()
+		for _, c := range cs {
+			if !c.complete {
+				c.waiters = append(c.waiters, w)
+			}
+		}
+		p.yield()
+	}
+}
+
+// AwaitTimeout parks p until c completes or d elapses; it reports
+// whether c completed within the window.
+func (p *Proc) AwaitTimeout(c *Completion, d Time) bool {
+	if c.complete {
+		return true
+	}
+	deadline := p.k.now + d
+	timer := p.k.NewCompletion()
+	p.k.At(deadline, func() {
+		if !timer.complete {
+			timer.Complete()
+		}
+	})
+	for {
+		if c.complete {
+			return true
+		}
+		if timer.complete {
+			return false
+		}
+		w := p.waker()
+		c.waiters = append(c.waiters, w)
+		timer.waiters = append(timer.waiters, w)
+		p.yield()
+	}
+}

@@ -1,0 +1,213 @@
+package sim
+
+import "testing"
+
+func TestMailboxSendReceive(t *testing.T) {
+	k := New()
+	m := k.NewMailbox()
+	var got []any
+	k.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			got = append(got, p.Receive(m))
+		}
+	})
+	k.Spawn("send", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(5)
+			m.Send(i)
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("messages = %v", got)
+		}
+	}
+	if m.Sent() != 3 || m.Received() != 3 || m.Len() != 0 {
+		t.Fatalf("counters: sent=%d received=%d len=%d", m.Sent(), m.Received(), m.Len())
+	}
+}
+
+func TestMailboxBuffersWhenNoReceiver(t *testing.T) {
+	k := New()
+	m := k.NewMailbox()
+	k.At(0, func() { m.Send("a"); m.Send("b") })
+	var got []any
+	k.Spawn("late", func(p *Proc) {
+		p.Sleep(10)
+		got = append(got, p.Receive(m))
+		got = append(got, p.Receive(m))
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMailboxFIFOAcrossReceivers(t *testing.T) {
+	k := New()
+	m := k.NewMailbox()
+	var order []string
+	for i := 0; i < 2; i++ {
+		name := string(rune('A' + i))
+		k.Spawn(name, func(p *Proc) {
+			msg := p.Receive(m)
+			order = append(order, p.Name()+":"+msg.(string))
+		})
+	}
+	k.At(5, func() { m.Send("first") })
+	k.At(6, func() { m.Send("second") })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A registered before B: A gets the first message.
+	if order[0] != "A:first" || order[1] != "B:second" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTryReceive(t *testing.T) {
+	k := New()
+	m := k.NewMailbox()
+	if _, ok := m.TryReceive(); ok {
+		t.Fatal("empty TryReceive succeeded")
+	}
+	m.Send(7)
+	if v, ok := m.TryReceive(); !ok || v != 7 {
+		t.Fatalf("TryReceive = %v, %v", v, ok)
+	}
+}
+
+func TestAwaitAnyFirstWins(t *testing.T) {
+	k := New()
+	c1, c2, c3 := k.NewCompletion(), k.NewCompletion(), k.NewCompletion()
+	k.At(30, c1.Complete)
+	k.At(10, c2.Complete)
+	k.At(20, c3.Complete)
+	var idx int
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		idx = p.AwaitAny(c1, c2, c3)
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 || at != 10 {
+		t.Fatalf("AwaitAny = %d at %v, want 1 at 10", idx, at)
+	}
+}
+
+func TestAwaitAnyAlreadyComplete(t *testing.T) {
+	k := New()
+	c1, c2 := k.NewCompletion(), k.NewCompletion()
+	k.At(0, c2.Complete)
+	var idx int
+	k.Spawn("w", func(p *Proc) {
+		p.Sleep(1)
+		idx = p.AwaitAny(c1, c2)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if idx != 1 {
+		t.Fatalf("idx = %d", idx)
+	}
+}
+
+func TestAwaitAnyEmptyPanics(t *testing.T) {
+	k := New()
+	panicked := false
+	k.Spawn("w", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		p.AwaitAny()
+	})
+	_ = k.Run()
+	if !panicked {
+		t.Fatal("AwaitAny() did not panic")
+	}
+}
+
+// TestStaleWakerCannotDisturbLaterPark is the regression test for the
+// generation-checked wake protocol: after AwaitAny returns, the other
+// completion's leftover registration must not wake the process out of
+// an unrelated sleep.
+func TestStaleWakerCannotDisturbLaterPark(t *testing.T) {
+	k := New()
+	c1, c2 := k.NewCompletion(), k.NewCompletion()
+	k.At(10, c1.Complete)
+	k.At(20, c2.Complete) // fires mid-sleep of the waiter
+	var wokeAt Time
+	k.Spawn("w", func(p *Proc) {
+		p.AwaitAny(c1, c2) // returns at 10 with a stale waker on c2
+		p.Sleep(100)       // c2 completes at 20: must NOT cut this short
+		wokeAt = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokeAt != 110 {
+		t.Fatalf("sleep disturbed: woke at %v, want 110", wokeAt)
+	}
+}
+
+func TestAwaitTimeoutCompletes(t *testing.T) {
+	k := New()
+	c := k.NewCompletion()
+	k.At(5, c.Complete)
+	var ok bool
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		ok = p.AwaitTimeout(c, 50)
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok || at != 5 {
+		t.Fatalf("AwaitTimeout = %v at %v", ok, at)
+	}
+}
+
+func TestAwaitTimeoutExpires(t *testing.T) {
+	k := New()
+	c := k.NewCompletion()
+	k.At(100, c.Complete)
+	var ok bool
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		ok = p.AwaitTimeout(c, 30)
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok || at != 30 {
+		t.Fatalf("AwaitTimeout = %v at %v, want timeout at 30", ok, at)
+	}
+}
+
+func TestAwaitTimeoutAlreadyComplete(t *testing.T) {
+	k := New()
+	c := k.NewCompletion()
+	k.At(0, c.Complete)
+	var ok bool
+	k.Spawn("w", func(p *Proc) {
+		p.Sleep(1)
+		ok = p.AwaitTimeout(c, 10)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("already-complete AwaitTimeout reported timeout")
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulation process: a goroutine whose execution is
+// interleaved with the kernel so that exactly one of (kernel, any
+// process) runs at a time. A Proc may only be used from its own body
+// function; sharing a Proc across goroutines is a programming error.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+	done   bool
+
+	// gen counts parks; wakers capture it so a waker left behind by an
+	// abandoned registration (AwaitAny, AwaitTimeout, WaitFor loops)
+	// can never wake a later, unrelated park.
+	gen uint64
+}
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Name returns the process name given to Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// Spawn creates a process and schedules its body to start at the current
+// time (after already-pending events at this timestamp). The body runs
+// under kernel control: when it blocks on simulated time or a
+// synchronization object, control returns to the kernel; when it
+// returns, the process ends.
+func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.live++
+	k.After(0, func() {
+		go func() {
+			defer func() {
+				p.done = true
+				k.live--
+				if k.trace != nil {
+					k.trace.Event(k.now, "proc-end", p.name)
+				}
+				// Hand control back to whoever resumed us last.
+				k.park <- struct{}{}
+			}()
+			if k.trace != nil {
+				k.trace.Event(k.now, "proc-start", p.name)
+			}
+			body(p)
+		}()
+		<-k.park // wait for the body to park or finish
+	})
+	return p
+}
+
+// yield parks the process and transfers control back to the kernel (or
+// to the event callback that resumed it). The process resumes when some
+// event calls wake; the park generation advances so stale wakers from
+// this park are invalidated.
+func (p *Proc) yield() {
+	p.k.park <- struct{}{}
+	<-p.resume
+	p.gen++
+}
+
+// waker returns a single-park wake function: it wakes p only if p is
+// still parked on the same park as when waker was created. Synchronization
+// objects store wakers, never bare Procs, so abandoned registrations are
+// harmless.
+func (p *Proc) waker() func() {
+	gen := p.gen
+	return func() {
+		if p.done || p.gen != gen {
+			return
+		}
+		p.wake()
+	}
+}
+
+// wake resumes a parked process from kernel context (inside an event
+// callback) and blocks until the process parks again or ends. It must
+// never be called from process context.
+func (p *Proc) wake() {
+	if p.done {
+		panic(fmt.Sprintf("sim: waking finished process %q", p.name))
+	}
+	p.resume <- struct{}{}
+	<-p.k.park
+}
+
+// Sleep suspends the process for d simulated time. Sleep(0) yields to
+// other events scheduled at the current instant.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		panic("sim: Sleep with negative duration")
+	}
+	p.k.After(d, p.wake)
+	p.yield()
+}
+
+// SleepUntil suspends the process until absolute time t (>= now).
+func (p *Proc) SleepUntil(t Time) {
+	p.k.At(t, p.wake)
+	p.yield()
+}

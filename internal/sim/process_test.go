@@ -1,0 +1,303 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestProcSleepAdvancesClock(t *testing.T) {
+	k := New()
+	var wake Time
+	k.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(42)
+		wake = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wake != 42 {
+		t.Fatalf("woke at %v, want 42", wake)
+	}
+}
+
+func TestProcSequentialSleeps(t *testing.T) {
+	k := New()
+	var marks []Time
+	k.Spawn("p", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(10)
+			marks = append(marks, p.Now())
+		}
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{10, 20, 30, 40}
+	for i := range want {
+		if marks[i] != want[i] {
+			t.Fatalf("marks = %v, want %v", marks, want)
+		}
+	}
+}
+
+func TestTwoProcsInterleaveDeterministically(t *testing.T) {
+	k := New()
+	var log []string
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(1)
+		log = append(log, "a1")
+		p.Sleep(2) // wakes at 3
+		log = append(log, "a3")
+	})
+	k.Spawn("b", func(p *Proc) {
+		p.Sleep(2)
+		log = append(log, "b2")
+		p.Sleep(1) // wakes at 3, scheduled after a's wake
+		log = append(log, "b3")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a1", "b2", "a3", "b3"}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	k := New()
+	var childAt Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(5)
+		k.Spawn("child", func(c *Proc) {
+			c.Sleep(5)
+			childAt = c.Now()
+		})
+		p.Sleep(1)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 10 {
+		t.Fatalf("child finished at %v, want 10", childAt)
+	}
+}
+
+func TestSleepZeroYields(t *testing.T) {
+	k := New()
+	var log []string
+	k.Spawn("a", func(p *Proc) {
+		log = append(log, "a-pre")
+		p.Sleep(0)
+		log = append(log, "a-post")
+	})
+	k.Spawn("b", func(p *Proc) {
+		log = append(log, "b")
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// a starts first, parks on Sleep(0); b runs; then a resumes.
+	want := []string{"a-pre", "b", "a-post"}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+}
+
+func TestSleepNegativePanics(t *testing.T) {
+	k := New()
+	panicked := false
+	k.Spawn("p", func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		p.Sleep(-1)
+	})
+	_ = k.Run()
+	if !panicked {
+		t.Fatal("Sleep(-1) did not panic")
+	}
+}
+
+func TestSleepUntil(t *testing.T) {
+	k := New()
+	var at Time
+	k.Spawn("p", func(p *Proc) {
+		p.SleepUntil(17)
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 17 {
+		t.Fatalf("woke at %v", at)
+	}
+}
+
+func TestCompletionAwait(t *testing.T) {
+	k := New()
+	c := k.NewCompletion()
+	var awaitedAt Time
+	k.Spawn("waiter", func(p *Proc) {
+		p.Await(c)
+		awaitedAt = p.Now()
+	})
+	k.Spawn("completer", func(p *Proc) {
+		p.Sleep(9)
+		c.Complete()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if awaitedAt != 9 {
+		t.Fatalf("waiter resumed at %v, want 9", awaitedAt)
+	}
+	if !c.Done() || c.At() != 9 {
+		t.Fatalf("completion state: done=%v at=%v", c.Done(), c.At())
+	}
+}
+
+func TestAwaitAlreadyComplete(t *testing.T) {
+	k := New()
+	c := k.NewCompletion()
+	var at Time = -1
+	k.Spawn("completer", func(p *Proc) {
+		c.Complete()
+	})
+	k.Spawn("late", func(p *Proc) {
+		p.Sleep(5)
+		p.Await(c) // must not park
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 5 {
+		t.Fatalf("late waiter resumed at %v, want 5", at)
+	}
+}
+
+func TestAwaitAllWaitsForLatest(t *testing.T) {
+	k := New()
+	c1, c2, c3 := k.NewCompletion(), k.NewCompletion(), k.NewCompletion()
+	k.At(3, c1.Complete)
+	k.At(8, c2.Complete)
+	k.At(5, c3.Complete)
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		p.AwaitAll(c1, c2, c3)
+		at = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 8 {
+		t.Fatalf("AwaitAll resumed at %v, want 8", at)
+	}
+}
+
+func TestCompleteTwicePanics(t *testing.T) {
+	k := New()
+	c := k.NewCompletion()
+	panicked := false
+	k.At(1, func() {
+		c.Complete()
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		c.Complete()
+	})
+	_ = k.Run()
+	if !panicked {
+		t.Fatal("double Complete did not panic")
+	}
+}
+
+func TestSignalBroadcastWakesAll(t *testing.T) {
+	k := New()
+	s := k.NewSignal()
+	woke := 0
+	for i := 0; i < 3; i++ {
+		k.Spawn("w", func(p *Proc) {
+			p.Wait(s)
+			woke++
+		})
+	}
+	k.At(4, s.Broadcast)
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 3 {
+		t.Fatalf("woke %d, want 3", woke)
+	}
+}
+
+func TestSignalNoMemory(t *testing.T) {
+	k := New()
+	s := k.NewSignal()
+	k.At(1, s.Broadcast) // nobody waiting: must be lost
+	deadlocked := false
+	k.Spawn("late", func(p *Proc) {
+		p.Sleep(2)
+		p.Wait(s) // no further broadcast: deadlock expected
+	})
+	err := k.Run()
+	if err == ErrDeadlock {
+		deadlocked = true
+	}
+	if !deadlocked {
+		t.Fatalf("expected deadlock, got %v", err)
+	}
+}
+
+func TestWaitForRechecks(t *testing.T) {
+	k := New()
+	s := k.NewSignal()
+	n := 0
+	var at Time
+	k.Spawn("w", func(p *Proc) {
+		p.WaitFor(s, func() bool { return n >= 3 })
+		at = p.Now()
+	})
+	for i := 1; i <= 5; i++ {
+		tt := Time(i)
+		k.At(tt, func() { n++; s.Broadcast() })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 3 {
+		t.Fatalf("WaitFor satisfied at %v, want 3", at)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	k := New()
+	c := k.NewCompletion()
+	k.Spawn("stuck", func(p *Proc) {
+		p.Await(c) // never completed
+	})
+	if err := k.Run(); err != ErrDeadlock {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestTracerSeesProcLifecycle(t *testing.T) {
+	k := New()
+	tr := NewCountingTracer()
+	k.SetTracer(tr)
+	k.Spawn("p", func(p *Proc) { p.Sleep(1) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Counts["proc-start"] != 1 || tr.Counts["proc-end"] != 1 {
+		t.Fatalf("tracer counts = %v", tr.Counts)
+	}
+}

@@ -1,0 +1,111 @@
+package sim
+
+// Resource is a counted resource with a FCFS wait queue, in the style of
+// CSIM facilities. Acquire parks the calling process until one of the
+// capacity units is free; Release hands the unit to the longest-waiting
+// process, if any.
+//
+// The disk model implements its own queueing (it needs per-request
+// service times computed at dispatch), so Resource mostly serves user
+// code built on the library: bounded channels to memory, CPU pools, etc.
+type Resource struct {
+	k        *Kernel
+	capacity int
+	inUse    int
+	queue    []*Proc
+
+	// Accumulated statistics.
+	acquired   int64
+	waited     int64
+	waitTime   Time
+	busyTime   Time
+	lastChange Time
+}
+
+// NewResource returns a resource with the given capacity (> 0).
+func (k *Kernel) NewResource(capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: NewResource with capacity <= 0")
+	}
+	return &Resource{k: k, capacity: capacity}
+}
+
+// Capacity returns the configured number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of parked acquirers.
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+func (r *Resource) accumulate() {
+	r.busyTime += Time(r.inUse) * (r.k.now - r.lastChange)
+	r.lastChange = r.k.now
+}
+
+// Acquire obtains one unit, parking p FCFS behind earlier waiters.
+func (p *Proc) Acquire(r *Resource) {
+	r.acquired++
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.accumulate()
+		r.inUse++
+		return
+	}
+	start := p.k.now
+	r.waited++
+	r.queue = append(r.queue, p)
+	p.yield()
+	r.waitTime += p.k.now - start
+}
+
+// TryAcquire obtains a unit without waiting; it reports whether it did.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity && len(r.queue) == 0 {
+		r.accumulate()
+		r.acquired++
+		r.inUse++
+		return true
+	}
+	return false
+}
+
+// Release returns one unit. If a process is waiting, the unit passes
+// directly to the head of the queue (it wakes at the current instant).
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: Release of idle resource")
+	}
+	if len(r.queue) > 0 {
+		// Hand off: inUse stays constant, ownership changes.
+		head := r.queue[0]
+		r.queue = r.queue[1:]
+		r.k.After(0, head.wake)
+		return
+	}
+	r.accumulate()
+	r.inUse--
+}
+
+// Utilization returns average units-in-use over [0, now] divided by
+// capacity, in [0, 1].
+func (r *Resource) Utilization() float64 {
+	if r.k.now == 0 {
+		return 0
+	}
+	busy := r.busyTime + Time(r.inUse)*(r.k.now-r.lastChange)
+	return float64(busy) / float64(Time(r.capacity)*r.k.now)
+}
+
+// Acquired returns the total number of Acquire/TryAcquire successes plus
+// queued Acquires.
+func (r *Resource) Acquired() int64 { return r.acquired }
+
+// MeanWait returns the average time Acquire callers spent queued,
+// counting non-waiting acquisitions as zero wait.
+func (r *Resource) MeanWait() Time {
+	if r.acquired == 0 {
+		return 0
+	}
+	return r.waitTime / Time(r.acquired)
+}

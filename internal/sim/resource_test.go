@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestResourceExclusive(t *testing.T) {
+	k := New()
+	r := k.NewResource(1)
+	var log []string
+	worker := func(name string, hold Time) func(p *Proc) {
+		return func(p *Proc) {
+			p.Acquire(r)
+			log = append(log, name+"-in")
+			p.Sleep(hold)
+			log = append(log, name+"-out")
+			r.Release()
+		}
+	}
+	k.Spawn("a", worker("a", 10))
+	k.Spawn("b", worker("b", 10))
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a-in", "a-out", "b-in", "b-out"}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+	if k.Now() != 20 {
+		t.Fatalf("finished at %v, want 20", k.Now())
+	}
+}
+
+func TestResourceFCFS(t *testing.T) {
+	k := New()
+	r := k.NewResource(1)
+	var order []int
+	// Holder occupies [0, 10); three waiters arrive at 1, 2, 3.
+	k.Spawn("holder", func(p *Proc) {
+		p.Acquire(r)
+		p.Sleep(10)
+		r.Release()
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		k.Spawn("w", func(p *Proc) {
+			p.Sleep(Time(i))
+			p.Acquire(r)
+			order = append(order, i)
+			p.Sleep(1)
+			r.Release()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("acquisition order = %v, want FCFS", order)
+		}
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	k := New()
+	r := k.NewResource(2)
+	maxInUse := 0
+	for i := 0; i < 5; i++ {
+		k.Spawn("w", func(p *Proc) {
+			p.Acquire(r)
+			if r.InUse() > maxInUse {
+				maxInUse = r.InUse()
+			}
+			p.Sleep(10)
+			r.Release()
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInUse != 2 {
+		t.Fatalf("max in use = %d, want 2", maxInUse)
+	}
+	// 5 holders, 10 each, 2 servers: 3 rounds -> 30.
+	if k.Now() != 30 {
+		t.Fatalf("finished at %v, want 30", k.Now())
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	k := New()
+	r := k.NewResource(1)
+	var got []bool
+	k.Spawn("a", func(p *Proc) {
+		got = append(got, r.TryAcquire())
+		got = append(got, r.TryAcquire())
+		r.Release()
+		got = append(got, r.TryAcquire())
+		r.Release()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TryAcquire results = %v", got)
+		}
+	}
+}
+
+func TestReleaseIdlePanics(t *testing.T) {
+	k := New()
+	r := k.NewResource(1)
+	panicked := false
+	k.At(0, func() {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		r.Release()
+	})
+	_ = k.Run()
+	if !panicked {
+		t.Fatal("Release of idle resource did not panic")
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	k := New()
+	r := k.NewResource(1)
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(10)
+		p.Acquire(r)
+		p.Sleep(10) // busy [10, 20)
+		r.Release()
+		p.Sleep(20) // idle to 40
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := r.Utilization(); math.Abs(u-0.25) > 1e-9 {
+		t.Fatalf("utilization = %v, want 0.25", u)
+	}
+}
+
+func TestResourceMeanWait(t *testing.T) {
+	k := New()
+	r := k.NewResource(1)
+	k.Spawn("holder", func(p *Proc) {
+		p.Acquire(r)
+		p.Sleep(10)
+		r.Release()
+	})
+	k.Spawn("waiter", func(p *Proc) {
+		p.Sleep(2)
+		p.Acquire(r) // waits 8
+		r.Release()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.MeanWait(); math.Abs(float64(got)-4) > 1e-9 { // (0+8)/2
+		t.Fatalf("mean wait = %v, want 4", got)
+	}
+	if r.Acquired() != 2 {
+		t.Fatalf("acquired = %d", r.Acquired())
+	}
+}
+
+func TestResourceAccessorsAndValidation(t *testing.T) {
+	k := New()
+	r := k.NewResource(3)
+	if r.Capacity() != 3 || r.QueueLen() != 0 {
+		t.Fatalf("capacity/queue = %d/%d", r.Capacity(), r.QueueLen())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewResource(0) did not panic")
+		}
+	}()
+	k.NewResource(0)
+}
+
+func TestProcKernelAccessor(t *testing.T) {
+	k := New()
+	var got *Kernel
+	k.Spawn("p", func(p *Proc) { got = p.Kernel() })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != k {
+		t.Fatal("Proc.Kernel returned wrong kernel")
+	}
+}
+
+func TestWriterTracer(t *testing.T) {
+	var sb strings.Builder
+	tr := WriterTracer{W: &sb}
+	tr.Event(12.5, "proc-start", "cpu")
+	if !strings.Contains(sb.String(), "proc-start") || !strings.Contains(sb.String(), "cpu") {
+		t.Fatalf("tracer output %q", sb.String())
+	}
+}
+
+func TestWakeFinishedProcPanics(t *testing.T) {
+	k := New()
+	var proc *Proc
+	k.Spawn("p", func(p *Proc) { proc = p })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("waking finished proc did not panic")
+		}
+	}()
+	proc.wake()
+}

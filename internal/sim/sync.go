@@ -1,0 +1,92 @@
+package sim
+
+// Completion is a one-shot event: it is either pending or complete.
+// Processes that Await a pending completion park until Complete is
+// called; awaiting an already-complete completion returns immediately.
+// It models "this I/O request has finished" and similar latches.
+type Completion struct {
+	k        *Kernel
+	complete bool
+	at       Time
+	waiters  []func()
+}
+
+// NewCompletion returns a pending completion on kernel k.
+func (k *Kernel) NewCompletion() *Completion { return &Completion{k: k} }
+
+// Done reports whether Complete has been called.
+func (c *Completion) Done() bool { return c.complete }
+
+// At returns the time Complete was called; it is meaningful only when
+// Done reports true.
+func (c *Completion) At() Time { return c.at }
+
+// Complete marks the completion done and wakes all waiters, in the order
+// they arrived, at the current instant. Completing twice panics — it
+// almost always indicates two owners of one request.
+func (c *Completion) Complete() {
+	if c.complete {
+		panic("sim: Completion completed twice")
+	}
+	c.complete = true
+	c.at = c.k.now
+	waiters := c.waiters
+	c.waiters = nil
+	for _, w := range waiters {
+		c.k.After(0, w)
+	}
+}
+
+// Await parks p until the completion is done.
+func (p *Proc) Await(c *Completion) {
+	for !c.complete {
+		c.waiters = append(c.waiters, p.waker())
+		p.yield()
+	}
+}
+
+// AwaitAll parks p until every completion in cs is done.
+func (p *Proc) AwaitAll(cs ...*Completion) {
+	for _, c := range cs {
+		p.Await(c)
+	}
+}
+
+// Signal is a broadcast condition variable on simulated time. Waiters
+// park until the next Broadcast; there is no memory (a broadcast with no
+// waiters is a no-op), so it is always used in a re-check loop:
+//
+//	for !cond() {
+//		p.Wait(sig)
+//	}
+type Signal struct {
+	k       *Kernel
+	waiters []func()
+}
+
+// NewSignal returns a signal on kernel k.
+func (k *Kernel) NewSignal() *Signal { return &Signal{k: k} }
+
+// Broadcast wakes every currently-parked waiter at the current instant.
+// Processes that start waiting after the broadcast wait for the next one.
+func (s *Signal) Broadcast() {
+	waiters := s.waiters
+	s.waiters = nil
+	for _, w := range waiters {
+		s.k.After(0, w)
+	}
+}
+
+// Wait parks p until the next Broadcast on s.
+func (p *Proc) Wait(s *Signal) {
+	s.waiters = append(s.waiters, p.waker())
+	p.yield()
+}
+
+// WaitFor parks p until cond() holds, re-checking after each broadcast
+// of s. If cond() already holds it returns immediately.
+func (p *Proc) WaitFor(s *Signal, cond func() bool) {
+	for !cond() {
+		p.Wait(s)
+	}
+}

@@ -1,0 +1,32 @@
+package sim
+
+import "fmt"
+
+// Time is a point on (or a span of) the simulated clock, in milliseconds.
+// Milliseconds are the natural unit of the paper's disk model (seek,
+// rotation and transfer are all quoted in ms), so the library uses them
+// throughout and offers helpers for display in seconds.
+type Time float64
+
+// Common spans.
+const (
+	Millisecond Time = 1
+	Second      Time = 1000
+)
+
+// Ms constructs a Time from a millisecond count.
+func Ms(ms float64) Time { return Time(ms) }
+
+// Seconds reports t as a float64 count of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1000 }
+
+// Milliseconds reports t as a float64 count of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) }
+
+// String formats t adaptively: sub-second values in ms, larger in s.
+func (t Time) String() string {
+	if t < Second && t > -Second {
+		return fmt.Sprintf("%.4gms", float64(t))
+	}
+	return fmt.Sprintf("%.4gs", t.Seconds())
+}

@@ -1,0 +1,252 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Figure {
+	f := &Figure{ID: "3.2a", Title: "Fetching N Blocks", XLabel: "N", YLabel: "seconds"}
+	a := f.AddSeries("one-disk")
+	a.Point(1, 340)
+	a.Point(10, 94)
+	b := f.AddSeries("five-disk")
+	b.Point(1, 287)
+	b.Point(10, 60)
+	b.Point(30, 40)
+	return f
+}
+
+func TestCSVShape(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "N,one-disk,five-disk" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 { // header + x in {1, 10, 30}
+		t.Fatalf("%d lines: %v", len(lines), lines)
+	}
+	// x=30 exists only for five-disk: empty middle cell.
+	if lines[3] != "30,,40" {
+		t.Fatalf("sparse row = %q", lines[3])
+	}
+}
+
+func TestCSVSortsX(t *testing.T) {
+	f := &Figure{XLabel: "x"}
+	s := f.AddSeries("s")
+	s.Point(5, 1)
+	s.Point(1, 2)
+	s.Point(3, 3)
+	var sb strings.Builder
+	if err := f.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	want := []string{"x,s", "1,2", "3,3", "5,1"}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("lines = %v", lines)
+		}
+	}
+}
+
+func TestTextContainsEverything(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"3.2a", "one-disk", "five-disk", "340.000", "N"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestASCIIChart(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteASCIIChart(&sb, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "a = one-disk") || !strings.Contains(out, "b = five-disk") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("markers missing")
+	}
+}
+
+func TestASCIIChartErrors(t *testing.T) {
+	f := &Figure{ID: "x"}
+	var sb strings.Builder
+	if err := f.WriteASCIIChart(&sb, 40, 10); err == nil {
+		t.Fatal("empty figure accepted")
+	}
+	if err := sample().WriteASCIIChart(&sb, 2, 2); err == nil {
+		t.Fatal("tiny chart accepted")
+	}
+}
+
+func TestASCIIChartDegenerateRanges(t *testing.T) {
+	f := &Figure{ID: "flat"}
+	s := f.AddSeries("s")
+	s.Point(1, 5)
+	s.Point(1, 5) // single x, single y
+	var sb strings.Builder
+	if err := f.WriteASCIIChart(&sb, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tb := &Table{Title: "Anchors", Columns: []string{"case", "paper", "sim"}}
+	tb.AddRow("eq1 k=25", "339.8", "340.1")
+	tb.AddRow("eq5", "20.5", "20.45")
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Anchors", "eq1 k=25", "20.45", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:      "1",
+		1.5:    "1.5",
+		0.25:   "0.25",
+		340.12: "340.12",
+		0:      "0",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Fatalf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestGanttBasic(t *testing.T) {
+	rows := []GanttRow{
+		{Label: "disk 0", Intervals: [][2]float64{{0, 50}, {80, 100}}},
+		{Label: "disk 1", Intervals: [][2]float64{{25, 75}}},
+	}
+	var sb strings.Builder
+	if err := WriteGantt(&sb, rows, 0, 100, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(out, "\n")
+	// Row 0: busy first half then tail; cell width = 5 units.
+	if !strings.Contains(lines[0], "disk 0") || !strings.Contains(lines[0], "#") {
+		t.Fatalf("row 0 = %q", lines[0])
+	}
+	// Disk 1 idle at the very start.
+	track := lines[1][strings.Index(lines[1], "|")+1:]
+	if track[0] != '.' {
+		t.Fatalf("disk 1 should start idle: %q", lines[1])
+	}
+}
+
+func TestGanttClipsOutOfWindow(t *testing.T) {
+	rows := []GanttRow{{Label: "d", Intervals: [][2]float64{{-50, -10}, {200, 300}, {40, 60}}}}
+	var sb strings.Builder
+	if err := WriteGantt(&sb, rows, 0, 100, 10); err != nil {
+		t.Fatal(err)
+	}
+	track := sb.String()
+	if strings.Count(track, "#") == 0 {
+		t.Fatal("in-window interval not drawn")
+	}
+	// Exactly the middle cells busy: [40,60) of [0,100) at 10 cells -> 2-3 cells.
+	n := strings.Count(track, "#")
+	if n < 2 || n > 3 {
+		t.Fatalf("busy cells = %d", n)
+	}
+}
+
+func TestGanttErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteGantt(&sb, nil, 5, 5, 20); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if err := WriteGantt(&sb, nil, 0, 10, 3); err == nil {
+		t.Fatal("tiny width accepted")
+	}
+}
+
+func TestSVGBasic(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteSVG(&sb, 640, 400); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "polyline", "circle",
+		"one-disk", "five-disk", "Fetching N Blocks",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("svg missing %q", want)
+		}
+	}
+	// Two series: exactly two polylines.
+	if n := strings.Count(out, "<polyline"); n != 2 {
+		t.Fatalf("polylines = %d", n)
+	}
+	// Deterministic output.
+	var sb2 strings.Builder
+	if err := sample().WriteSVG(&sb2, 640, 400); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Fatal("svg not deterministic")
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	f := &Figure{ID: "x", Title: `a<b&"c"`, XLabel: "x", YLabel: "y"}
+	s := f.AddSeries("s<1>")
+	s.Point(1, 1)
+	s.Point(2, 2)
+	var sb strings.Builder
+	if err := f.WriteSVG(&sb, 400, 300); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "a<b&") || !strings.Contains(out, "a&lt;b&amp;") {
+		t.Fatal("labels not escaped")
+	}
+}
+
+func TestSVGErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Figure{ID: "e"}).WriteSVG(&sb, 640, 400); err == nil {
+		t.Fatal("empty figure accepted")
+	}
+	if err := sample().WriteSVG(&sb, 50, 50); err == nil {
+		t.Fatal("tiny canvas accepted")
+	}
+}
+
+func TestTicksRounded(t *testing.T) {
+	ts := ticks(0, 100, 6)
+	if len(ts) < 4 || len(ts) > 7 {
+		t.Fatalf("ticks = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatalf("ticks not increasing: %v", ts)
+		}
+	}
+	if got := ticks(5, 5, 6); len(got) != 1 {
+		t.Fatalf("degenerate ticks = %v", got)
+	}
+}

@@ -1,0 +1,109 @@
+// Package workload supplies block-depletion models for the merge engine.
+//
+// The paper adopts the Kwan–Baer random depletion model: at every step,
+// the next block is consumed from a run chosen uniformly at random among
+// runs that still contain unmerged data. That is Uniform here. Skewed
+// (Zipf-weighted) depletion and fixed replayed sequences (for tests and
+// for record-driven traces captured from real merges) are provided as
+// extensions.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Model chooses which run to deplete next. Choose receives the list of
+// candidate run ids (runs with unmerged blocks, in ascending order) and
+// must return one element of it. Implementations may keep state.
+type Model interface {
+	// Choose returns one run id from active (non-empty).
+	Choose(active []int) int
+	// Name identifies the model in reports.
+	Name() string
+}
+
+// Uniform is the paper's random depletion model.
+type Uniform struct {
+	R *rng.Stream
+}
+
+// Choose implements Model.
+func (u *Uniform) Choose(active []int) int {
+	return active[u.R.Intn(len(active))]
+}
+
+// Name implements Model.
+func (u *Uniform) Name() string { return "uniform" }
+
+// Skewed weights runs by a Zipf law over run id rank within the active
+// set, modelling merges where record distributions favour some runs.
+type Skewed struct {
+	R     *rng.Stream
+	Theta float64
+
+	zipf *rng.Zipf
+}
+
+// Choose implements Model.
+func (s *Skewed) Choose(active []int) int {
+	if s.zipf == nil || s.zipf.N() != len(active) {
+		s.zipf = rng.NewZipf(len(active), s.Theta)
+	}
+	return active[s.zipf.Draw(s.R)]
+}
+
+// Name implements Model.
+func (s *Skewed) Name() string { return fmt.Sprintf("zipf(%.2f)", s.Theta) }
+
+// Lookahead is implemented by models that know their future choices —
+// replayed traces do, random models do not. Peek(0) is the choice the
+// next Choose will consider first.
+type Lookahead interface {
+	// Peek returns the run id `ahead` positions into the future, and
+	// whether it exists.
+	Peek(ahead int) (run int, ok bool)
+}
+
+// Sequence replays a fixed depletion order, e.g. a trace captured from a
+// real record-level merge. When an entry names a run that is no longer
+// active (or the trace is exhausted) it falls back to the first active
+// run, so short or slightly inconsistent traces still terminate.
+type Sequence struct {
+	Runs []int
+
+	pos int
+}
+
+// Peek implements Lookahead.
+func (s *Sequence) Peek(ahead int) (int, bool) {
+	if ahead < 0 {
+		return 0, false
+	}
+	i := s.pos + ahead
+	if i >= len(s.Runs) {
+		return 0, false
+	}
+	return s.Runs[i], true
+}
+
+// Choose implements Model.
+func (s *Sequence) Choose(active []int) int {
+	for s.pos < len(s.Runs) {
+		r := s.Runs[s.pos]
+		s.pos++
+		for _, a := range active {
+			if a == r {
+				return r
+			}
+		}
+	}
+	return active[0]
+}
+
+// Name implements Model.
+func (s *Sequence) Name() string { return "sequence" }
+
+// Position returns how many trace entries have been consumed.
+func (s *Sequence) Position() int { return s.pos }

@@ -1,0 +1,121 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestUniformChoosesAllRuns(t *testing.T) {
+	u := &Uniform{R: rng.New(1)}
+	active := []int{3, 7, 11, 19}
+	counts := map[int]int{}
+	const draws = 40000
+	for i := 0; i < draws; i++ {
+		counts[u.Choose(active)]++
+	}
+	if len(counts) != len(active) {
+		t.Fatalf("only %d of %d runs chosen", len(counts), len(active))
+	}
+	want := float64(draws) / float64(len(active))
+	for r, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("run %d chosen %d times, want ~%v", r, c, want)
+		}
+	}
+	if u.Name() != "uniform" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestUniformChoosesMember(t *testing.T) {
+	u := &Uniform{R: rng.New(2)}
+	active := []int{42}
+	for i := 0; i < 100; i++ {
+		if u.Choose(active) != 42 {
+			t.Fatal("chose non-member")
+		}
+	}
+}
+
+func TestSkewedFavoursEarlyRuns(t *testing.T) {
+	s := &Skewed{R: rng.New(3), Theta: 1.0}
+	active := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	counts := map[int]int{}
+	for i := 0; i < 50000; i++ {
+		counts[s.Choose(active)]++
+	}
+	if !(counts[0] > counts[3] && counts[3] > counts[7]) {
+		t.Fatalf("skew not monotone: %v", counts)
+	}
+	if s.Name() != "zipf(1.00)" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestSkewedAdaptsToShrinkingActiveSet(t *testing.T) {
+	s := &Skewed{R: rng.New(4), Theta: 0.5}
+	got := s.Choose([]int{1, 2, 3, 4})
+	if got < 1 || got > 4 {
+		t.Fatalf("chose %d", got)
+	}
+	got = s.Choose([]int{9, 10}) // smaller set: sampler must rebuild
+	if got != 9 && got != 10 {
+		t.Fatalf("chose %d from {9,10}", got)
+	}
+}
+
+func TestSequenceReplaysTrace(t *testing.T) {
+	s := &Sequence{Runs: []int{2, 0, 1, 2}}
+	active := []int{0, 1, 2}
+	want := []int{2, 0, 1, 2}
+	for i, w := range want {
+		if got := s.Choose(active); got != w {
+			t.Fatalf("step %d: got %d, want %d", i, got, w)
+		}
+	}
+	if s.Position() != 4 {
+		t.Fatalf("position = %d", s.Position())
+	}
+}
+
+func TestSequenceSkipsInactiveEntries(t *testing.T) {
+	s := &Sequence{Runs: []int{5, 1}}
+	got := s.Choose([]int{0, 1}) // 5 inactive, skip to 1
+	if got != 1 {
+		t.Fatalf("got %d, want 1", got)
+	}
+}
+
+func TestSequenceExhaustedFallsBack(t *testing.T) {
+	s := &Sequence{Runs: nil}
+	if got := s.Choose([]int{7, 8}); got != 7 {
+		t.Fatalf("exhausted fallback = %d, want first active", got)
+	}
+	if s.Name() != "sequence" {
+		t.Fatal("name wrong")
+	}
+}
+
+func TestSequencePeekDirect(t *testing.T) {
+	s := &Sequence{Runs: []int{3, 1, 4}}
+	if r, ok := s.Peek(0); !ok || r != 3 {
+		t.Fatalf("Peek(0) = %d,%v", r, ok)
+	}
+	if r, ok := s.Peek(2); !ok || r != 4 {
+		t.Fatalf("Peek(2) = %d,%v", r, ok)
+	}
+	if _, ok := s.Peek(3); ok {
+		t.Fatal("Peek past end succeeded")
+	}
+	if _, ok := s.Peek(-1); ok {
+		t.Fatal("negative Peek succeeded")
+	}
+	s.Choose([]int{1, 3, 4})
+	if r, ok := s.Peek(0); !ok || r != 1 {
+		t.Fatalf("Peek after Choose = %d,%v", r, ok)
+	}
+	// Sequence satisfies the Lookahead contract.
+	var _ Lookahead = s
+}
