@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test bench figures figures-quick verify examples clean
+.PHONY: all build test race bench bench-json figures figures-quick verify examples clean
 
 all: build test
 
@@ -15,6 +15,15 @@ race:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Performance ledger: run the figure benches once each (they regenerate
+# whole panels; 1x keeps the run affordable) and the micro-benches at
+# full precision, then parse everything into BENCH_1.json. Commit the
+# file so optimization PRs carry their numbers.
+bench-json:
+	{ go test -run '^$$' -bench '^Benchmark(Fig|All|Ablation|Ext|Anchor|Urn|TRMarkov)' -benchtime=1x . ; \
+	  go test -run '^$$' -bench '^Benchmark(Kernel|Disk|Cache|LoserTree|Merge)' -benchmem . ; } \
+	| go run ./cmd/benchjson -out BENCH_1.json
 
 # Regenerate the paper's evaluation at full fidelity (5 trials) with
 # CSV and SVG artifacts under figures-out/.

@@ -73,6 +73,20 @@ func BenchmarkExtAdaptiveN(b *testing.B)      { runFigure(b, "ext-adaptive-n") }
 func BenchmarkExtK100(b *testing.B)           { runFigure(b, "ext-k100") }
 func BenchmarkExtModernDisk(b *testing.B)     { runFigure(b, "ext-modern-disk") }
 
+// BenchmarkAllFiguresQuick regenerates the entire quick figure set
+// through the parallel sweep executor — the figure-level macro number
+// that the per-panel benches above break down. It is the bench-side
+// twin of `figures -quick`: specs fan out concurrently and every
+// spec's points×trials grid saturates the worker pool.
+func BenchmarkAllFiguresQuick(b *testing.B) {
+	specs := experiments.All()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunAll(specs, benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // benchStrategy times one full simulated merge at the paper's headline
 // shape and reports the simulated quantities as custom metrics.
 func benchStrategy(b *testing.B, n int, inter, sync bool) {

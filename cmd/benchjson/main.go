@@ -1,0 +1,116 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON document: one entry per benchmark keyed by name
+// (the -N GOMAXPROCS suffix stripped), carrying iterations, ns/op, and
+// every custom metric the benchmark reported (sim-seconds, overlap,
+// success, B/op, allocs/op, ...).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem . | benchjson -out BENCH_1.json
+//
+// The emitted file is the repo's performance ledger: committed once per
+// optimization PR so regressions show up as diffs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// entry is one benchmark's parsed result line.
+type entry struct {
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default: stdout)")
+	flag.Parse()
+
+	results := make(map[string]entry)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the terminal
+		name, e, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		results[name] = e
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkKernelEvents-8   97561804   11.88 ns/op   0 B/op   0 allocs/op
+//	BenchmarkMergeInterUnsync-8   30   38ms/op   0.94 overlap   27.4 sim-seconds
+//
+// Unit pairs after ns/op land in Metrics under their unit name.
+func parseLine(line string) (string, entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", entry{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		// Strip the -N parallelism suffix iff numeric.
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	name = strings.TrimPrefix(name, "Benchmark")
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", entry{}, false
+	}
+	e := entry{Iterations: iters}
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", entry{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			e.NsPerOp = v
+			continue
+		}
+		if e.Metrics == nil {
+			e.Metrics = make(map[string]float64)
+		}
+		e.Metrics[unit] = v
+	}
+	return name, e, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

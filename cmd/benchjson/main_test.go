@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	name, e, ok := parseLine("BenchmarkKernelEvents-8  \t 97561804\t        11.88 ns/op\t       0 B/op\t       0 allocs/op")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if name != "KernelEvents" {
+		t.Fatalf("name = %q", name)
+	}
+	if e.Iterations != 97561804 || e.NsPerOp != 11.88 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.Metrics["B/op"] != 0 || e.Metrics["allocs/op"] != 0 {
+		t.Fatalf("metrics = %v", e.Metrics)
+	}
+}
+
+func TestParseLineCustomMetrics(t *testing.T) {
+	name, e, ok := parseLine("BenchmarkMergeInterUnsync-4   30   38123456 ns/op   0.94 overlap   27.42 sim-seconds   1.00 success")
+	if !ok {
+		t.Fatal("line rejected")
+	}
+	if name != "MergeInterUnsync" {
+		t.Fatalf("name = %q", name)
+	}
+	if e.Metrics["overlap"] != 0.94 || e.Metrics["sim-seconds"] != 27.42 || e.Metrics["success"] != 1 {
+		t.Fatalf("metrics = %v", e.Metrics)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t12.3s",
+		"BenchmarkBroken-8 notanumber 1 ns/op",
+		"",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Fatalf("noise accepted: %q", line)
+		}
+	}
+}

@@ -10,6 +10,13 @@
 //	figures -quick           # coarse grids, 1 trial (fast smoke run)
 //	figures -csv -out ./out  # also write CSV files
 //	figures -list            # list experiment ids
+//	figures -parallel=false  # serial reference mode (identical output)
+//
+// By default every layer fans out on the parallel sweep executor:
+// independent experiment specs run concurrently, and each spec's
+// simulation points × trials saturate GOMAXPROCS workers. Results are
+// collected by index, so stdout, CSV and SVG artifacts are byte-identical
+// to -parallel=false (only the wall-clock timings differ).
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 	"repro/internal/table"
 )
 
@@ -37,6 +45,7 @@ func main() {
 		chart  = flag.Bool("chart", true, "render ASCII charts for figures")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		verify = flag.Bool("verify", false, "compare regenerated figures against reference CSVs in -out (regression check)")
+		par    = flag.Bool("parallel", true, "fan specs and sweep points out across GOMAXPROCS workers (output is byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -50,6 +59,9 @@ func main() {
 	opts := experiments.Options{Trials: *trials, Seed: *seed, Quick: *quick}
 	if *quick {
 		opts.Trials = 1
+	}
+	if !*par {
+		opts.Workers = 1
 	}
 
 	specs := experiments.All()
@@ -67,15 +79,46 @@ func main() {
 		}
 	}
 
+	// Running and rendering are split so that -parallel can overlap the
+	// simulation work of independent specs while stdout and artifacts are
+	// still emitted strictly in spec order. With -parallel=false each spec
+	// runs inline right before it is rendered (the serial reference mode).
+	type specRun struct {
+		out  experiments.Output
+		took time.Duration
+	}
+	runOne := func(i int) (specRun, error) {
+		start := time.Now()
+		out, err := specs[i].Run(opts)
+		if err != nil {
+			return specRun{}, fmt.Errorf("%s: %w", specs[i].ID, err)
+		}
+		return specRun{out: out, took: time.Since(start)}, nil
+	}
+	var runs []specRun
+	if *par {
+		var err error
+		runs, err = parallel.Map(len(specs), 0, runOne)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	failures := 0
 	var svgFiles []string
-	for _, spec := range specs {
-		start := time.Now()
+	for i, spec := range specs {
 		fmt.Printf("== %s: %s\n", spec.ID, spec.Title)
-		output, err := spec.Run(opts)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", spec.ID, err))
+		run := specRun{}
+		if *par {
+			run = runs[i]
+		} else {
+			var err error
+			run, err = runOne(i)
+			if err != nil {
+				fatal(err)
+			}
 		}
+		output := run.out
 		for _, f := range output.Figures {
 			if *verify {
 				name := filepath.Join(*out, "fig-"+sanitize(f.ID)+".csv")
@@ -121,7 +164,7 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("-- %s done in %v\n\n", spec.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("-- %s done in %v\n\n", spec.ID, run.took.Round(time.Millisecond))
 	}
 	if failures > 0 {
 		fatal(fmt.Errorf("%d figure(s) diverged from their references", failures))

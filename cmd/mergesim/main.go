@@ -35,6 +35,7 @@ func main() {
 		cacheSize = flag.Int("cache", 0, "cache size in blocks (0 = natural size; -1 = unlimited)")
 		mergeMs   = flag.Float64("merge-ms", 0, "CPU time to merge one block, in ms (0 = infinitely fast)")
 		trials    = flag.Int("trials", 1, "independent trials")
+		workers   = flag.Int("workers", 0, "worker goroutines for multi-trial runs (0 = GOMAXPROCS, 1 = serial; results are identical)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		greedy    = flag.Bool("greedy", false, "greedy cache admission instead of all-or-demand")
 		schedule  = flag.String("schedule", "fcfs", "disk queue discipline: fcfs, sstf, scan")
@@ -107,10 +108,11 @@ func main() {
 			*trials = 1
 		}
 	}
-	agg, err := core.RunTrials(cfg, *trials)
+	aggs, err := core.RunGrid([]core.Config{cfg}, *trials, *workers)
 	if err != nil {
 		fatal(err)
 	}
+	agg := aggs[0]
 	if logFile != nil {
 		fmt.Fprintf(os.Stderr, "request log written to %s\n", *reqLog)
 	}

@@ -2,8 +2,6 @@ package core
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/stats"
 
@@ -97,66 +95,16 @@ func Run(cfg Config) (Result, error) {
 }
 
 // RunTrials simulates trials independent replications (seeds Seed,
-// Seed+1, ...) and aggregates them. Replications are independent
-// simulations, so they run on parallel goroutines when no Tracer is
-// installed; results are aggregated in trial order, so the outcome is
-// identical to a serial run.
+// Seed+1, ...) and aggregates them: a single-point RunGrid on the
+// default worker pool. Replications run on parallel goroutines when no
+// Tracer or request observer is installed; results are aggregated in
+// trial order, so the outcome is identical to a serial run.
 func RunTrials(cfg Config, trials int) (Aggregate, error) {
-	if trials <= 0 {
-		return Aggregate{}, fmt.Errorf("core: trials = %d", trials)
+	aggs, err := RunGrid([]Config{cfg}, trials, 0)
+	if err != nil {
+		return Aggregate{}, err
 	}
-	results := make([]Result, trials)
-	errs := make([]error, trials)
-	runOne := func(t int) {
-		c := cfg
-		c.Seed = cfg.Seed + uint64(t)
-		// A caller-supplied stateful workload model cannot be shared
-		// across trials; keep it only for single-trial runs.
-		if trials > 1 {
-			c.Workload = nil
-		}
-		results[t], errs[t] = Run(c)
-	}
-	if trials > 1 && cfg.Tracer == nil && cfg.OnRequest == nil {
-		workers := runtime.GOMAXPROCS(0)
-		if workers > trials {
-			workers = trials
-		}
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for t := range next {
-					runOne(t)
-				}
-			}()
-		}
-		for t := 0; t < trials; t++ {
-			next <- t
-		}
-		close(next)
-		wg.Wait()
-	} else {
-		for t := 0; t < trials; t++ {
-			runOne(t)
-		}
-	}
-
-	agg := Aggregate{Config: cfg, Trials: trials}
-	for t := 0; t < trials; t++ {
-		if errs[t] != nil {
-			return Aggregate{}, errs[t]
-		}
-		res := results[t]
-		agg.Results = append(agg.Results, res)
-		agg.TotalTime.Add(res.TotalTime.Seconds())
-		agg.SuccessRatio.Add(res.SuccessRatio())
-		agg.Concurrency.Add(res.MeanConcurrencyWhenBusy)
-		agg.StallTime.Add(res.StallTime.Seconds())
-	}
-	return agg, nil
+	return aggs[0], nil
 }
 
 func newEngine(cfg Config) (*engine, error) {
@@ -193,6 +141,10 @@ func newEngine(cfg Config) (*engine, error) {
 		e.curN = 1 // start conservatively; successes raise the depth
 	}
 	e.model = cfg.Workload
+	if e.model == nil && cfg.WorkloadFactory != nil {
+		// Direct Run calls are a single replication: trial 0.
+		e.model = cfg.WorkloadFactory(0)
+	}
 	if e.model == nil {
 		e.model = &workload.Uniform{R: root.Split("depletion")}
 	}

@@ -24,6 +24,7 @@ func ablationAdmission(o Options) (Output, error) {
 		ID: "ablation-admission", Title: "Admission policy (25 runs, 5 disks, N=10)",
 		XLabel: "cache size (blocks)", YLabel: "execution time (seconds)",
 	}
+	g := newGrid(o)
 	for _, pol := range []cache.AdmissionPolicy{cache.AllOrDemand, cache.Greedy} {
 		s := f.AddSeries(pol.String())
 		for _, c := range cacheGrid(25, 1200, o.Quick) {
@@ -31,12 +32,11 @@ func ablationAdmission(o Options) (Output, error) {
 			cfg.InterRun = true
 			cfg.CacheBlocks = c
 			cfg.Admission = pol
-			secs, _, err := meanTotal(cfg, o)
-			if err != nil {
-				return Output{}, err
-			}
-			s.Point(float64(c), secs)
+			g.addPoint(s, float64(c), cfg)
 		}
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Figures: []*table.Figure{f}}, nil
 }
@@ -64,22 +64,30 @@ func ablationRunChoice(o Options) (Output, error) {
 		totals[pol] = &stats.Summary{}
 		ratios[pol] = &stats.Summary{}
 	}
+	// Every (trial, policy) pair replays the same pre-drawn trace, so
+	// each is an independent single-replication point: the grid runs
+	// them with trials = 1 and per-point seeds and workloads.
+	g := newGrid(o)
+	g.trials = 1
 	for trial := 0; trial < o.Trials; trial++ {
 		trace := uniformTrace(o.Seed+uint64(trial), k, blocks)
 		for _, pol := range policies {
+			pol := pol
 			cfg := baseConfig(k, 5, 10)
 			cfg.InterRun = true
 			cfg.CacheBlocks = 500
 			cfg.RunPolicy = pol
 			cfg.Seed = o.Seed + uint64(trial)
 			cfg.Workload = &workload.Sequence{Runs: append([]int(nil), trace...)}
-			res, err := core.Run(cfg)
-			if err != nil {
-				return Output{}, err
-			}
-			totals[pol].Add(res.TotalTime.Seconds())
-			ratios[pol].Add(res.SuccessRatio())
+			g.addSeeded(cfg, func(a core.Aggregate) {
+				res := a.Results[0]
+				totals[pol].Add(res.TotalTime.Seconds())
+				ratios[pol].Add(res.SuccessRatio())
+			})
 		}
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	for _, pol := range policies {
 		t.AddRow(pol.String(),
@@ -112,14 +120,17 @@ func ablationRotation(o Options) (Output, error) {
 		Title:   "Rotational latency model (k=25, D=5, N=10, inter-run, ample cache)",
 		Columns: []string{"model", "total (s)"},
 	}
+	g := newGrid(o)
 	for _, m := range []disk.RotationalModel{disk.RotUniform, disk.RotConstant, disk.RotPositional} {
+		m := m
 		cfg := interConfig(25, 5, 10)
 		cfg.Disk.Rotational = m
-		secs, _, err := meanTotal(cfg, o)
-		if err != nil {
-			return Output{}, err
-		}
-		t.AddRow(m.String(), fmt.Sprintf("%.2f", secs))
+		g.add(cfg, func(a core.Aggregate) {
+			t.AddRow(m.String(), fmt.Sprintf("%.2f", a.TotalTime.Mean()))
+		})
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Tables: []*table.Table{t}}, nil
 }
@@ -133,24 +144,25 @@ func ablationPlacement(o Options) (Output, error) {
 		Title:   "Run placement (k=25, D=5, N=10, intra-run only)",
 		Columns: []string{"placement", "strategy", "total (s)"},
 	}
+	g := newGrid(o)
 	for _, pl := range []layout.Placement{layout.RoundRobin, layout.Clustered, layout.Striped} {
 		for _, inter := range []bool{false, true} {
+			pl := pl
 			cfg := baseConfig(25, 5, 10)
 			cfg.Placement = pl
 			cfg.InterRun = inter
-			if inter {
-				cfg.CacheBlocks = cache.Unlimited
-			}
-			secs, _, err := meanTotal(cfg, o)
-			if err != nil {
-				return Output{}, err
-			}
 			name := "demand-run-only"
 			if inter {
+				cfg.CacheBlocks = cache.Unlimited
 				name = "all-disks-one-run"
 			}
-			t.AddRow(pl.String(), name, fmt.Sprintf("%.2f", secs))
+			g.add(cfg, func(a core.Aggregate) {
+				t.AddRow(pl.String(), name, fmt.Sprintf("%.2f", a.TotalTime.Mean()))
+			})
 		}
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Tables: []*table.Table{t}}, nil
 }
@@ -176,9 +188,12 @@ func ablationSeekModel(o Options) (Output, error) {
 		{"demand-run-only N=10", 10, false},
 		{"all-disks-one-run N=10", 10, true},
 	}
-	for _, s := range strategies {
-		row := []string{s.name}
-		for _, model := range []disk.SeekModel{disk.SeekLinear, disk.SeekAffineSqrt} {
+	g := newGrid(o)
+	rows := make([][]string, len(strategies))
+	for i, s := range strategies {
+		rows[i] = []string{s.name, "", ""}
+		for j, model := range []disk.SeekModel{disk.SeekLinear, disk.SeekAffineSqrt} {
+			cell := &rows[i][j+1]
 			cfg := baseConfig(25, 5, s.n)
 			cfg.InterRun = s.inter
 			if s.inter {
@@ -187,12 +202,15 @@ func ablationSeekModel(o Options) (Output, error) {
 			cfg.Disk.Seek = model
 			cfg.Disk.SeekSettle = 2      // ms: head settle
 			cfg.Disk.SeekSqrtCoeff = 0.5 // ms per sqrt(cylinder)
-			secs, _, err := meanTotal(cfg, o)
-			if err != nil {
-				return Output{}, err
-			}
-			row = append(row, fmt.Sprintf("%.2f", secs))
+			g.add(cfg, func(a core.Aggregate) {
+				*cell = fmt.Sprintf("%.2f", a.TotalTime.Mean())
+			})
 		}
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return Output{Tables: []*table.Table{t}}, nil
@@ -206,16 +224,21 @@ func ablationScheduler(o Options) (Output, error) {
 		Title:   "Disk queue discipline (k=50, D=5, N=10, inter-run, C=800)",
 		Columns: []string{"discipline", "total (s)", "success ratio"},
 	}
+	g := newGrid(o)
 	for _, disc := range []disk.Discipline{disk.FCFS, disk.SSTF, disk.SCAN} {
+		disc := disc
 		cfg := baseConfig(50, 5, 10)
 		cfg.InterRun = true
 		cfg.CacheBlocks = 800
 		cfg.Disk.Discipline = disc
-		secs, success, err := meanTotal(cfg, o)
-		if err != nil {
-			return Output{}, err
-		}
-		t.AddRow(disc.String(), fmt.Sprintf("%.2f", secs), fmt.Sprintf("%.3f", success))
+		g.add(cfg, func(a core.Aggregate) {
+			t.AddRow(disc.String(),
+				fmt.Sprintf("%.2f", a.TotalTime.Mean()),
+				fmt.Sprintf("%.3f", a.SuccessRatio.Mean()))
+		})
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Tables: []*table.Table{t}}, nil
 }

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// render flattens every artifact of a full experiment run — figure CSVs
+// and table text, in spec order — into one byte stream for comparison.
+func render(t *testing.T, outs []Output) string {
+	t.Helper()
+	var sb strings.Builder
+	for _, out := range outs {
+		for _, f := range out.Figures {
+			sb.WriteString("figure " + f.ID + "\n")
+			if err := f.WriteCSV(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, tb := range out.Tables {
+			if err := tb.WriteText(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// TestParallelMatchesSerial is the determinism contract: the full quick
+// experiment set, run once serially (the reference) and once through the
+// parallel executor with more workers than cores, must render
+// byte-identical figure CSVs and tables. Seeds derive from point and
+// trial indices, never from worker identity, and results are collected
+// by index — so any divergence here means a scheduling-dependent code
+// path leaked into the simulation.
+func TestParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick figure set twice")
+	}
+	specs := All()
+	serial, err := RunAll(specs, Options{Trials: 1, Seed: 7, Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAll(specs, Options{Trials: 1, Seed: 7, Quick: true, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := render(t, serial), render(t, par)
+	if want != got {
+		t.Fatalf("parallel output diverged from serial reference:\nserial:\n%s\nparallel:\n%s",
+			firstDiff(want, got), firstDiff(got, want))
+	}
+}
+
+// TestParallelMatchesSerialMultiTrial covers the trial axis of the grid:
+// aggregation must fold per-trial results in trial order regardless of
+// completion order, so float sums are bit-identical.
+func TestParallelMatchesSerialMultiTrial(t *testing.T) {
+	spec, err := Find("3.2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunAll([]Spec{spec}, Options{Trials: 3, Seed: 7, Quick: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAll([]Spec{spec}, Options{Trials: 3, Seed: 7, Quick: true, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want, got := render(t, serial), render(t, par); want != got {
+		t.Fatalf("multi-trial parallel output diverged:\n%s", firstDiff(want, got))
+	}
+}
+
+// firstDiff returns the line where a and b first disagree, for readable
+// failure output.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := range al {
+		if i >= len(bl) || al[i] != bl[i] {
+			other := "<missing>"
+			if i < len(bl) {
+				other = bl[i]
+			}
+			return "line " + strconv.Itoa(i) + ": " + al[i] + " vs " + other
+		}
+	}
+	return "<identical prefix, lengths differ>"
+}

@@ -24,6 +24,11 @@ type Options struct {
 	Seed uint64
 	// Quick coarsens sweep grids for use in tests and smoke runs.
 	Quick bool
+	// Workers bounds the parallel executor's fan-out at each level
+	// (sweep points × trials, and concurrent specs under RunAll).
+	// 0 means GOMAXPROCS; 1 forces the serial reference order. Results
+	// are byte-identical at any setting.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper: 5 trials.
@@ -104,17 +109,6 @@ func nGrid(quick bool) []int {
 	return []int{1, 2, 3, 5, 8, 10, 15, 20, 25, 30}
 }
 
-// meanTotal runs cfg for o.Trials trials and returns the mean total
-// time in seconds and the mean success ratio.
-func meanTotal(cfg core.Config, o Options) (secs, success float64, err error) {
-	cfg.Seed = o.Seed
-	agg, err := core.RunTrials(cfg, o.Trials)
-	if err != nil {
-		return 0, 0, err
-	}
-	return agg.TotalTime.Mean(), agg.SuccessRatio.Mean(), nil
-}
-
 // baseConfig returns the paper's configuration for k runs on d disks
 // with intra-run depth n.
 func baseConfig(k, d, n int) core.Config {
@@ -141,16 +135,12 @@ func interConfig(k, d, n int) core.Config {
 	return cfg
 }
 
-// sweepN fills one series with mean total seconds over the N grid.
-func sweepN(s *table.Series, mk func(n int) core.Config, o Options) error {
-	for _, n := range nGrid(o.Quick) {
-		secs, _, err := meanTotal(mk(n), o)
-		if err != nil {
-			return err
-		}
-		s.Point(float64(n), secs)
+// sweepN schedules one series' points — mean total seconds over the N
+// grid — on g.
+func sweepN(g *grid, s *table.Series, mk func(n int) core.Config) {
+	for _, n := range nGrid(g.o.Quick) {
+		g.addPoint(s, float64(n), mk(n))
 	}
-	return nil
 }
 
 func fig32a(o Options) (Output, error) {
@@ -167,10 +157,12 @@ func fig32a(o Options) (Output, error) {
 		{"Demand Run Only (25 runs, 5 disks)", func(n int) core.Config { return intraConfig(25, 5, n) }},
 		{"Demand Run Only (25 runs, 1 disk)", func(n int) core.Config { return intraConfig(25, 1, n) }},
 	}
+	g := newGrid(o)
 	for _, c := range curves {
-		if err := sweepN(f.AddSeries(c.label), c.mk, o); err != nil {
-			return Output{}, err
-		}
+		sweepN(g, f.AddSeries(c.label), c.mk)
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Figures: []*table.Figure{f}}, nil
 }
@@ -190,10 +182,12 @@ func fig32b(o Options) (Output, error) {
 		{"Demand Run Only (50 runs, 10 disks)", func(n int) core.Config { return intraConfig(50, 10, n) }},
 		{"Demand Run Only (50 runs, 1 disk)", func(n int) core.Config { return intraConfig(50, 1, n) }},
 	}
+	g := newGrid(o)
 	for _, c := range curves {
-		if err := sweepN(f.AddSeries(c.label), c.mk, o); err != nil {
-			return Output{}, err
-		}
+		sweepN(g, f.AddSeries(c.label), c.mk)
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Figures: []*table.Figure{f}}, nil
 }
@@ -213,10 +207,12 @@ func fig32c(o Options) (Output, error) {
 		{"Demand Run Only (25 runs, 5 disks)", func(n int) core.Config { return intraConfig(25, 5, n) }},
 		{"Demand Run Only (50 runs, 5 disks)", func(n int) core.Config { return intraConfig(50, 5, n) }},
 	}
+	g := newGrid(o)
 	for _, c := range curves {
-		if err := sweepN(f.AddSeries(c.label), c.mk, o); err != nil {
-			return Output{}, err
-		}
+		sweepN(g, f.AddSeries(c.label), c.mk)
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Figures: []*table.Figure{f}}, nil
 }
@@ -227,9 +223,9 @@ func fig33(o Options) (Output, error) {
 		ID: "3.3", Title: "Effect of Finite-Speed CPU (25 runs, 5 disks, N=10)",
 		XLabel: "merge time per block (ms)", YLabel: "total execution time (seconds)",
 	}
-	grid := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+	mts := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
 	if o.Quick {
-		grid = []float64{0, 0.35, 0.7}
+		mts = []float64{0, 0.35, 0.7}
 	}
 	curves := []struct {
 		label string
@@ -241,9 +237,10 @@ func fig33(o Options) (Output, error) {
 		{"Demand Run Only (Unsynchronized)", false, false},
 		{"Demand Run Only (Synchronized)", false, true},
 	}
+	g := newGrid(o)
 	for _, c := range curves {
 		s := f.AddSeries(c.label)
-		for _, mt := range grid {
+		for _, mt := range mts {
 			var cfg core.Config
 			if c.inter {
 				cfg = interConfig(25, 5, 10)
@@ -252,12 +249,11 @@ func fig33(o Options) (Output, error) {
 			}
 			cfg.Synchronized = c.sync
 			cfg.MergeTimePerBlock = sim.Ms(mt)
-			secs, _, err := meanTotal(cfg, o)
-			if err != nil {
-				return Output{}, err
-			}
-			s.Point(mt, secs)
+			g.addPoint(s, mt, cfg)
 		}
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Figures: []*table.Figure{f}}, nil
 }
@@ -300,6 +296,7 @@ func cacheSweep(idTime, idRatio string, k, d, maxCache int, o Options) (Output, 
 		Title:  fmt.Sprintf("Effect of Cache Size: All Disks One Run (%d runs, %d disks)", k, d),
 		XLabel: "cache size (blocks)", YLabel: "success ratio",
 	}
+	g := newGrid(o)
 	for _, n := range []int{1, 5, 10} {
 		st := ft.AddSeries(fmt.Sprintf("N=%d", n))
 		sr := fr.AddSeries(fmt.Sprintf("N=%d", n))
@@ -307,13 +304,15 @@ func cacheSweep(idTime, idRatio string, k, d, maxCache int, o Options) (Output, 
 			cfg := baseConfig(k, d, n)
 			cfg.InterRun = true
 			cfg.CacheBlocks = c
-			secs, success, err := meanTotal(cfg, o)
-			if err != nil {
-				return Output{}, err
-			}
-			st.Point(float64(c), secs)
-			sr.Point(float64(c), success)
+			x := float64(c)
+			g.add(cfg, func(a core.Aggregate) {
+				st.Point(x, a.TotalTime.Mean())
+				sr.Point(x, a.SuccessRatio.Mean())
+			})
 		}
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Figures: []*table.Figure{ft, fr}}, nil
 }

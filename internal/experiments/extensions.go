@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/extsort"
+	"repro/internal/parallel"
 	"repro/internal/plan"
 	"repro/internal/rng"
 	"repro/internal/table"
@@ -38,21 +39,23 @@ func extWriteTraffic(o Options) (Output, error) {
 			c.Write = core.WriteConfig{Enabled: true, Shared: true}
 		}},
 	}
+	g := newGrid(o)
 	for _, cs := range cases {
+		cs := cs
 		cfg := interConfig(25, 5, 10)
 		cfg.CacheBlocks = cache.Unlimited
 		cs.mut(&cfg)
-		cfg.Seed = o.Seed
-		agg, err := core.RunTrials(cfg, o.Trials)
-		if err != nil {
-			return Output{}, err
-		}
-		var stall float64
-		for _, r := range agg.Results {
-			stall += r.WriteStall.Seconds()
-		}
-		stall /= float64(len(agg.Results))
-		t.AddRow(cs.name, fmt.Sprintf("%.2f", agg.TotalTime.Mean()), fmt.Sprintf("%.2f", stall))
+		g.add(cfg, func(a core.Aggregate) {
+			var stall float64
+			for _, r := range a.Results {
+				stall += r.WriteStall.Seconds()
+			}
+			stall /= float64(len(a.Results))
+			t.AddRow(cs.name, fmt.Sprintf("%.2f", a.TotalTime.Mean()), fmt.Sprintf("%.2f", stall))
+		})
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Tables: []*table.Table{t}}, nil
 }
@@ -73,27 +76,34 @@ func extMultiPass(o Options) (Output, error) {
 	if o.Quick {
 		lengths = []int{200, 5000}
 	}
-	for _, bpr := range lengths {
+	g := newGrid(o)
+	g.trials = 1
+	rows := make([][]string, len(lengths))
+	for i, bpr := range lengths {
+		rows[i] = []string{fmt.Sprintf("%d", bpr), "", "", ""}
+		row := rows[i]
 		inter := core.Default()
 		inter.K, inter.D, inter.BlocksPerRun, inter.N = 18, 5, bpr, 16
 		inter.InterRun = true
 		inter.CacheBlocks = 1024
-		inter.Seed = o.Seed
-		interRes, err := core.Run(inter)
-		if err != nil {
-			return Output{}, err
-		}
 		intra := inter
 		intra.InterRun = false
 		intra.N = min(56, bpr)
-		intraRes, err := core.Run(intra)
-		if err != nil {
-			return Output{}, err
-		}
-		t.AddRow(fmt.Sprintf("%d", bpr),
-			fmt.Sprintf("%.3f", float64(interRes.TotalTime)/float64(interRes.MergedBlocks)),
-			fmt.Sprintf("%.3f", interRes.SuccessRatio()),
-			fmt.Sprintf("%.3f", float64(intraRes.TotalTime)/float64(intraRes.MergedBlocks)))
+		g.add(inter, func(a core.Aggregate) {
+			res := a.Results[0]
+			row[1] = fmt.Sprintf("%.3f", float64(res.TotalTime)/float64(res.MergedBlocks))
+			row[2] = fmt.Sprintf("%.3f", res.SuccessRatio())
+		})
+		g.add(intra, func(a core.Aggregate) {
+			res := a.Results[0]
+			row[3] = fmt.Sprintf("%.3f", float64(res.TotalTime)/float64(res.MergedBlocks))
+		})
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
 	}
 
 	// And the planner's answer: calibrated vs analytic for a deep sort.
@@ -155,21 +165,27 @@ func extModernDisk(o Options) (Output, error) {
 		{"inter+intra N=10", 10, true},
 		{"inter+intra N=30", 30, true},
 	}
-	for _, s := range strategies {
-		row := []string{s.name}
-		for _, params := range []disk.Params{disk.PaperParams(), disk.ModernParams()} {
+	g := newGrid(o)
+	rows := make([][]string, len(strategies))
+	for i, s := range strategies {
+		rows[i] = []string{s.name, "", ""}
+		for j, params := range []disk.Params{disk.PaperParams(), disk.ModernParams()} {
+			cell := &rows[i][j+1]
 			cfg := baseConfig(25, 5, s.n)
 			cfg.InterRun = s.inter
 			if s.inter {
 				cfg.CacheBlocks = cache.Unlimited
 			}
 			cfg.Disk = params
-			secs, _, err := meanTotal(cfg, o)
-			if err != nil {
-				return Output{}, err
-			}
-			row = append(row, fmt.Sprintf("%.2f", secs))
+			g.add(cfg, func(a core.Aggregate) {
+				*cell = fmt.Sprintf("%.2f", a.TotalTime.Mean())
+			})
 		}
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
+	}
+	for _, row := range rows {
 		t.AddRow(row...)
 	}
 	return Output{Tables: []*table.Table{t}}, nil
@@ -193,10 +209,12 @@ func extK100(o Options) (Output, error) {
 		{"Demand Run Only (100 runs, 10 disks)", func(n int) core.Config { return intraConfig(100, 10, n) }},
 		{"Demand Run Only (100 runs, 1 disk)", func(n int) core.Config { return intraConfig(100, 1, n) }},
 	}
+	g := newGrid(o)
 	for _, c := range curves {
-		if err := sweepN(f.AddSeries(c.label), c.mk, o); err != nil {
-			return Output{}, err
-		}
+		sweepN(g, f.AddSeries(c.label), c.mk)
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Figures: []*table.Figure{f}}, nil
 }
@@ -215,39 +233,37 @@ func extAdaptiveN(o Options) (Output, error) {
 		ID: "ext-adaptive-n-depth", Title: "Controller mean depth vs cache size",
 		XLabel: "cache size (blocks)", YLabel: "mean prefetch depth",
 	}
-	grid := cacheGrid(25, 1200, o.Quick)
+	caches := cacheGrid(25, 1200, o.Quick)
+	g := newGrid(o)
 	for _, n := range []int{1, 5, 10} {
 		s := f.AddSeries(fmt.Sprintf("fixed N=%d", n))
-		for _, c := range grid {
+		for _, c := range caches {
 			cfg := baseConfig(25, 5, n)
 			cfg.InterRun = true
 			cfg.CacheBlocks = c
-			secs, _, err := meanTotal(cfg, o)
-			if err != nil {
-				return Output{}, err
-			}
-			s.Point(float64(c), secs)
+			g.addPoint(s, float64(c), cfg)
 		}
 	}
 	s := f.AddSeries("adaptive (bound 30)")
 	sd := depth.AddSeries("adaptive (bound 30)")
-	for _, c := range grid {
+	for _, c := range caches {
 		cfg := baseConfig(25, 5, 30)
 		cfg.AdaptiveN = true
 		cfg.InterRun = true
 		cfg.CacheBlocks = c
-		cfg.Seed = o.Seed
-		agg, err := core.RunTrials(cfg, o.Trials)
-		if err != nil {
-			return Output{}, err
-		}
-		var meanDepth float64
-		for _, r := range agg.Results {
-			meanDepth += r.MeanDepth
-		}
-		meanDepth /= float64(len(agg.Results))
-		s.Point(float64(c), agg.TotalTime.Mean())
-		sd.Point(float64(c), meanDepth)
+		x := float64(c)
+		g.add(cfg, func(a core.Aggregate) {
+			var meanDepth float64
+			for _, r := range a.Results {
+				meanDepth += r.MeanDepth
+			}
+			meanDepth /= float64(len(a.Results))
+			s.Point(x, a.TotalTime.Mean())
+			sd.Point(x, meanDepth)
+		})
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Figures: []*table.Figure{f, depth}}, nil
 }
@@ -309,7 +325,10 @@ func extRealTrace(o Options) (Output, error) {
 		{"inter+intra N=10, C=700, forecast-oracle", 10, true, core.OracleRun, 700},
 		{"inter+intra N=10, C=700, least-buffered", 10, true, core.LeastBufferedRun, 700},
 	}
-	for _, cs := range cases {
+	// Every case replays the same captured trace through its own fresh
+	// Sequence model, so the replays are independent simulation points.
+	results, err := parallel.Map(len(cases), o.Workers, func(i int) (core.Result, error) {
+		cs := cases[i]
 		base := core.Default()
 		base.D = 5
 		base.N = cs.n
@@ -317,13 +336,15 @@ func extRealTrace(o Options) (Output, error) {
 		base.RunPolicy = cs.policy
 		base.CacheBlocks = cs.cache
 		base.Seed = o.Seed
-		res, err := extsort.SimulateMerge(store.RunBlocks(), st.Trace, base)
-		if err != nil {
-			return Output{}, err
-		}
+		return extsort.SimulateMerge(store.RunBlocks(), st.Trace, base)
+	})
+	if err != nil {
+		return Output{}, err
+	}
+	for i, cs := range cases {
 		t.AddRow(cs.name,
-			fmt.Sprintf("%.2f", res.TotalTime.Seconds()),
-			fmt.Sprintf("%.2f", res.MeanConcurrencyWhenBusy))
+			fmt.Sprintf("%.2f", results[i].TotalTime.Seconds()),
+			fmt.Sprintf("%.2f", results[i].MeanConcurrencyWhenBusy))
 	}
 	return Output{Tables: []*table.Table{t}}, nil
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/parallel"
 	"repro/internal/table"
 )
 
@@ -88,16 +89,20 @@ func anchors(o Options) (Output, error) {
 		},
 	}
 
+	g := newGrid(o)
 	for _, c := range cases {
-		secs, _, err := meanTotal(c.cfg, o)
-		if err != nil {
-			return Output{}, err
-		}
-		rel := (secs - c.analytic) / c.analytic
-		t.AddRow(c.name, c.eq,
-			fmt.Sprintf("%.2f", c.analytic),
-			fmt.Sprintf("%.2f", secs),
-			fmt.Sprintf("%+.1f%%", 100*rel))
+		c := c
+		g.add(c.cfg, func(a core.Aggregate) {
+			secs := a.TotalTime.Mean()
+			rel := (secs - c.analytic) / c.analytic
+			t.AddRow(c.name, c.eq,
+				fmt.Sprintf("%.2f", c.analytic),
+				fmt.Sprintf("%.2f", secs),
+				fmt.Sprintf("%+.1f%%", 100*rel))
+		})
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Tables: []*table.Table{t}}, nil
 }
@@ -120,29 +125,39 @@ func trMarkov(o Options) (Output, error) {
 	if o.Quick {
 		shapes = shapes[:3]
 	}
-	for _, s := range shapes {
+	// The exact chain solves are CPU-bound and independent per shape, so
+	// they fan out like simulation points; rows are filed in shape order.
+	type solved struct{ aon, greedy float64 }
+	results, err := parallel.Map(len(shapes), o.Workers, func(i int) (solved, error) {
+		s := shapes[i]
 		aonChain, err := analysis.NewMarkovChain(s.d, s.c, analysis.AllOrNothing)
 		if err != nil {
-			return Output{}, err
+			return solved{}, err
 		}
 		aon, _, err := aonChain.Solve(1e-10, 8000)
 		if err != nil {
-			return Output{}, err
+			return solved{}, err
 		}
 		gChain, err := analysis.NewMarkovChain(s.d, s.c, analysis.GreedyFill)
 		if err != nil {
-			return Output{}, err
+			return solved{}, err
 		}
 		greedy, _, err := gChain.Solve(1e-10, 8000)
 		if err != nil {
-			return Output{}, err
+			return solved{}, err
 		}
+		return solved{aon: aon, greedy: greedy}, nil
+	})
+	if err != nil {
+		return Output{}, err
+	}
+	for i, s := range shapes {
 		winner := "all-or-nothing"
-		if greedy > aon {
+		if results[i].greedy > results[i].aon {
 			winner = "greedy-fill"
 		}
 		t.AddRow(fmt.Sprintf("%d", s.d), fmt.Sprintf("%d", s.c),
-			fmt.Sprintf("%.3f", aon), fmt.Sprintf("%.3f", greedy), winner)
+			fmt.Sprintf("%.3f", results[i].aon), fmt.Sprintf("%.3f", results[i].greedy), winner)
 	}
 	return Output{Tables: []*table.Table{t}}, nil
 }
@@ -160,20 +175,21 @@ func concurrency(o Options) (Output, error) {
 	if o.Quick {
 		shapes = shapes[:2]
 	}
+	g := newGrid(o)
 	for _, s := range shapes {
-		cfg := intraConfig(s.k, s.d, 30)
-		cfg.Seed = o.Seed
-		agg, err := core.RunTrials(cfg, o.Trials)
-		if err != nil {
-			return Output{}, err
-		}
-		t.AddRow(
-			fmt.Sprintf("%d", s.d),
-			fmt.Sprintf("%d", s.k),
-			fmt.Sprintf("%.2f", analysis.UrnGameExpectedLength(s.d)),
-			fmt.Sprintf("%.2f", analysis.UrnGameAsymptote(s.d)),
-			fmt.Sprintf("%.2f", agg.Concurrency.Mean()),
-		)
+		s := s
+		g.add(intraConfig(s.k, s.d, 30), func(a core.Aggregate) {
+			t.AddRow(
+				fmt.Sprintf("%d", s.d),
+				fmt.Sprintf("%d", s.k),
+				fmt.Sprintf("%.2f", analysis.UrnGameExpectedLength(s.d)),
+				fmt.Sprintf("%.2f", analysis.UrnGameAsymptote(s.d)),
+				fmt.Sprintf("%.2f", a.Concurrency.Mean()),
+			)
+		})
+	}
+	if err := g.run(); err != nil {
+		return Output{}, err
 	}
 	return Output{Tables: []*table.Table{t}}, nil
 }

@@ -1,0 +1,80 @@
+// Package parallel is the shared bounded-worker sweep executor. Every
+// layer that fans independent simulation points out over the machine —
+// core.RunGrid trials, the experiment grid sweeps, cmd/figures' spec
+// runner — funnels through Do or Map, so the worker discipline and the
+// determinism contract live in one place.
+//
+// The determinism contract: jobs are identified by index, results are
+// collected by index, and nothing a job computes may depend on which
+// worker ran it or in what wall-clock order jobs completed. Seeds must
+// derive from the job index (or from configuration), never from worker
+// identity. Under that contract a parallel run is observationally
+// identical to a serial one, which the figure regression tests assert
+// byte-for-byte.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers returns the default worker count: GOMAXPROCS.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// Do runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 means Workers()). Jobs are handed out dynamically, so
+// uneven job costs still saturate the pool. Do returns when every job
+// has finished. With one worker or one job it runs inline, in index
+// order, with no goroutines — the serial reference the parallel path
+// must match.
+func Do(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = Workers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Map evaluates fn for every index in [0, n) across at most workers
+// goroutines and returns the results in index order. If any job fails,
+// Map returns the error of the lowest-index failed job — the same error
+// a serial run would surface first — with the partial results.
+func Map[R any](n, workers int, fn func(i int) (R, error)) ([]R, error) {
+	results := make([]R, n)
+	errs := make([]error, n)
+	Do(n, workers, func(i int) {
+		results[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,79 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 100
+		counts := make([]int32, n)
+		Do(n, workers, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestDoEmpty(t *testing.T) {
+	Do(0, 4, func(int) { t.Fatal("job ran") })
+	Do(-1, 4, func(int) { t.Fatal("job ran") })
+}
+
+func TestDoSerialIsInOrder(t *testing.T) {
+	var order []int
+	Do(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial Do out of order: %v", order)
+		}
+	}
+}
+
+func TestDoBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int32
+	Do(50, workers, func(int) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > workers {
+		t.Fatalf("peak concurrency %d exceeds %d workers", peak, workers)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	got, err := Map(20, 4, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapFirstErrorWins(t *testing.T) {
+	want := errors.New("boom-3")
+	_, err := Map(10, 4, func(i int) (int, error) {
+		if i >= 3 {
+			return 0, fmt.Errorf("boom-%d", i)
+		}
+		return i, nil
+	})
+	if err == nil || err.Error() != want.Error() {
+		t.Fatalf("err = %v, want lowest-index error %v", err, want)
+	}
+}

@@ -17,9 +17,9 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // ErrDeadlock is returned by Run when processes remain parked but the
@@ -36,29 +36,152 @@ type event struct {
 	fn  func()
 }
 
-// eventHeap orders events by time, then by scheduling order.
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before orders events by time, then by scheduling order.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event        { return h[0] }
-func (h *eventHeap) pushEvent(e event) { heap.Push(h, e) }
-func (h *eventHeap) popEvent() event   { return heap.Pop(h).(event) }
+
+// calendar is the pending-event set, specialized to event so pushes and
+// pops never box through `any` or call through a heap.Interface. Two
+// structures back it:
+//
+//   - heap: an inline 4-ary min-heap on (at, seq). 4-ary beats binary
+//     here because sift-down touches one cache line of children per
+//     level and the tree is half as deep.
+//   - fifo: a ring of events scheduled AT the current instant while the
+//     clock already stands there. Wakers, signal broadcasts and
+//     completion callbacks all schedule at the current time (After(0)),
+//     which is the hottest path of a process-oriented simulation; those
+//     events append and pop in O(1) without disturbing the heap.
+//
+// The fifo invariant: every buffered event has at == the clock's current
+// instant, and its seq is greater than any event pushed earlier. The
+// clock cannot advance while the fifo is non-empty (its events are never
+// later than any heap event), so the invariant is stable; ordering
+// between the fifo front and the heap top is decided by (at, seq) as it
+// would be in a single heap.
+type calendar struct {
+	heap []event
+	fifo []event
+	head int // fifo read cursor
+}
+
+func (c *calendar) len() int { return len(c.heap) + len(c.fifo) - c.head }
+
+// nextAt returns the timestamp of the earliest pending event. The fifo,
+// when non-empty, holds events at the current instant, which no heap
+// event can precede.
+func (c *calendar) nextAt() Time {
+	if c.head < len(c.fifo) {
+		return c.fifo[c.head].at
+	}
+	return c.heap[0].at
+}
+
+// push inserts e scheduled from the current instant now. Same-instant
+// events take the fifo unless the ring holds events from another
+// instant (only possible after RunUntil rewound the clock to an earlier
+// horizon); those fall through to the heap, which orders anything.
+func (c *calendar) push(e event, now Time) {
+	if e.at == now && (len(c.fifo) == c.head || c.fifo[len(c.fifo)-1].at == e.at) {
+		c.fifo = append(c.fifo, e)
+		return
+	}
+	c.heap = append(c.heap, event{})
+	i := len(c.heap) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.before(c.heap[p]) {
+			break
+		}
+		c.heap[i] = c.heap[p]
+		i = p
+	}
+	c.heap[i] = e
+}
+
+// pop removes and returns the earliest pending event (ties broken by
+// schedule order). len() must be positive.
+func (c *calendar) pop() event {
+	if c.head < len(c.fifo) {
+		// The heap top can only precede the fifo front when both sit at
+		// the same instant and the heap event was scheduled earlier.
+		if len(c.heap) == 0 || c.fifo[c.head].before(c.heap[0]) {
+			e := c.fifo[c.head]
+			c.head++
+			if c.head == len(c.fifo) {
+				// Drained: clear stale closure references and reuse the ring.
+				clear(c.fifo)
+				c.fifo = c.fifo[:0]
+				c.head = 0
+			}
+			return e
+		}
+	}
+	return c.popHeap()
+}
+
+func (c *calendar) popHeap() event {
+	h := c.heap
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // drop the closure reference
+	h = h[:n]
+	c.heap = h
+	if n > 0 {
+		i := 0
+		for {
+			child := i<<2 + 1
+			if child >= n {
+				break
+			}
+			m := child
+			end := child + 4
+			if end > n {
+				end = n
+			}
+			for j := child + 1; j < end; j++ {
+				if h[j].before(h[m]) {
+					m = j
+				}
+			}
+			if !h[m].before(last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// calendarPool recycles drained backing arrays across kernels: a sweep
+// creates one kernel per simulation point × trial, and reusing grown
+// arrays spares every new kernel the append-regrowth ramp.
+var calendarPool = sync.Pool{New: func() any { return new(calendar) }}
+
+// release returns a drained calendar's storage to the pool. The arrays
+// were cleared as they drained, so no event closures are retained.
+func (c *calendar) release() {
+	if c.heap == nil && c.fifo == nil {
+		return
+	}
+	recycled := &calendar{heap: c.heap[:0], fifo: c.fifo[:0]}
+	c.heap, c.fifo, c.head = nil, nil, 0
+	calendarPool.Put(recycled)
+}
 
 // Kernel is a single simulated timeline. A Kernel and everything
 // scheduled on it must be used from one OS thread of control at a time;
 // the process mechanism enforces this for processes it manages.
 type Kernel struct {
 	now     Time
-	cal     eventHeap
+	cal     calendar
 	seq     uint64
 	stopped bool
 
@@ -74,7 +197,9 @@ type Kernel struct {
 
 // New returns an empty kernel with the clock at zero.
 func New() *Kernel {
-	return &Kernel{park: make(chan struct{})}
+	k := &Kernel{park: make(chan struct{})}
+	k.cal = *calendarPool.Get().(*calendar)
+	return k
 }
 
 // Now returns the current simulated time.
@@ -90,7 +215,7 @@ func (k *Kernel) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, k.now))
 	}
 	k.seq++
-	k.cal.pushEvent(event{at: t, seq: k.seq, fn: fn})
+	k.cal.push(event{at: t, seq: k.seq, fn: fn}, k.now)
 }
 
 // After schedules fn to run d from now. Negative d panics.
@@ -113,18 +238,19 @@ func (k *Kernel) Run() error { return k.RunUntil(-1) }
 // event; if the calendar still holds later events when the horizon is
 // reached, RunUntil sets the clock to the horizon and returns nil.
 func (k *Kernel) RunUntil(horizon Time) error {
-	for len(k.cal) > 0 {
+	for k.cal.len() > 0 {
 		if k.stopped {
 			return ErrStopped
 		}
-		if horizon >= 0 && k.cal.peek().at > horizon {
+		if horizon >= 0 && k.cal.nextAt() > horizon {
 			k.now = horizon
 			return nil
 		}
-		e := k.cal.popEvent()
+		e := k.cal.pop()
 		k.now = e.at
 		e.fn()
 	}
+	k.cal.release()
 	if k.stopped {
 		return ErrStopped
 	}

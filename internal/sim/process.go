@@ -16,6 +16,10 @@ type Proc struct {
 	// abandoned registration (AwaitAny, AwaitTimeout, WaitFor loops)
 	// can never wake a later, unrelated park.
 	gen uint64
+
+	// wakeFn caches the wake method value: Sleep is the hottest process
+	// operation and would otherwise allocate a fresh closure per call.
+	wakeFn func()
 }
 
 // Kernel returns the kernel this process runs on.
@@ -34,6 +38,7 @@ func (p *Proc) Now() Time { return p.k.now }
 // returns, the process ends.
 func (k *Kernel) Spawn(name string, body func(p *Proc)) *Proc {
 	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	p.wakeFn = p.wake
 	k.live++
 	k.After(0, func() {
 		go func() {
@@ -97,12 +102,12 @@ func (p *Proc) Sleep(d Time) {
 	if d < 0 {
 		panic("sim: Sleep with negative duration")
 	}
-	p.k.After(d, p.wake)
+	p.k.After(d, p.wakeFn)
 	p.yield()
 }
 
 // SleepUntil suspends the process until absolute time t (>= now).
 func (p *Proc) SleepUntil(t Time) {
-	p.k.At(t, p.wake)
+	p.k.At(t, p.wakeFn)
 	p.yield()
 }
