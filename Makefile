@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-json figures figures-quick verify examples clean
+.PHONY: all build test race bench bench-json serve figures figures-quick verify examples clean
 
 all: build test
 
@@ -22,8 +22,12 @@ bench:
 # file so optimization PRs carry their numbers.
 bench-json:
 	{ go test -run '^$$' -bench '^Benchmark(Fig|All|Ablation|Ext|Anchor|Urn|TRMarkov)' -benchtime=1x . ; \
-	  go test -run '^$$' -bench '^Benchmark(Kernel|Disk|Cache|LoserTree|Merge)' -benchmem . ; } \
+	  go test -run '^$$' -bench '^Benchmark(Kernel|Disk|Cache|LoserTree|Merge|Service)' -benchmem . ; } \
 	| go run ./cmd/benchjson -out BENCH_1.json
+
+# Run the simulation daemon on :8080 (see cmd/simd -h for flags).
+serve:
+	go run ./cmd/simd
 
 # Regenerate the paper's evaluation at full fidelity (5 trials) with
 # CSV and SVG artifacts under figures-out/.

@@ -14,6 +14,7 @@
 package repro
 
 import (
+	"context"
 	"encoding/binary"
 	"io"
 	"testing"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/extsort"
 	"repro/internal/rng"
+	"repro/internal/service"
 	"repro/internal/sim"
 )
 
@@ -210,3 +212,52 @@ func BenchmarkLoserTreeMerge(b *testing.B) {
 type discardWriter struct{}
 
 func (discardWriter) Write(rec []byte) error { _, _ = io.Discard.Write(rec); return nil }
+
+// benchService builds a daemon-less service instance over a small fast
+// configuration. The cold benchmark varies the seed so every iteration
+// misses the cache and pays for a full engine run; the cached benchmark
+// repeats one request so every iteration after the first is a pure
+// cache lookup. The gap between the two is the value of the result
+// cache per request.
+func benchService(b *testing.B) *service.Service {
+	b.Helper()
+	return service.New(service.Options{CacheEntries: b.N + 1})
+}
+
+func benchServiceReq(seed uint64) service.SimulateRequest {
+	return service.SimulateRequest{K: 4, D: 2, N: 2, BlocksPerRun: 40, Seed: seed, Trials: 1}
+}
+
+func BenchmarkServiceSimulateCold(b *testing.B) {
+	svc := benchService(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := svc.Simulate(ctx, benchServiceReq(uint64(i)+1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	_ = svc.Drain(ctx)
+}
+
+func BenchmarkServiceSimulateCached(b *testing.B) {
+	svc := benchService(b)
+	ctx := context.Background()
+	if _, _, err := svc.Simulate(ctx, benchServiceReq(1)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body, status, err := svc.Simulate(ctx, benchServiceReq(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if status != service.CacheHit {
+			b.Fatalf("X-Cache = %v, want hit", status)
+		}
+		_ = body
+	}
+	b.StopTimer()
+	_ = svc.Drain(ctx)
+}

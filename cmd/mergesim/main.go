@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -90,14 +91,15 @@ func main() {
 
 	cfg.RecordTimeline = *ganttMs > 0
 	var logFile *os.File
+	var logBuf *bufio.Writer
 	if *reqLog != "" {
 		var err error
 		logFile, err = os.Create(*reqLog)
 		if err != nil {
 			fatal(err)
 		}
-		defer logFile.Close()
-		enc := json.NewEncoder(logFile)
+		logBuf = bufio.NewWriter(logFile)
+		enc := json.NewEncoder(logBuf)
 		cfg.OnRequest = func(tr disk.RequestTrace) {
 			if err := enc.Encode(tr); err != nil {
 				fatal(err)
@@ -114,11 +116,19 @@ func main() {
 	}
 	agg := aggs[0]
 	if logFile != nil {
+		// A truncated request log is worse than no log: surface flush
+		// and close errors (ENOSPC, I/O) with a non-zero exit.
+		if err := logBuf.Flush(); err != nil {
+			fatal(fmt.Errorf("reqlog %s: flush: %w", *reqLog, err))
+		}
+		if err := logFile.Close(); err != nil {
+			fatal(fmt.Errorf("reqlog %s: close: %w", *reqLog, err))
+		}
 		fmt.Fprintf(os.Stderr, "request log written to %s\n", *reqLog)
 	}
 
 	if *jsonOut {
-		emitJSON(cfg, agg)
+		emitJSON(agg)
 		return
 	}
 
@@ -168,79 +178,13 @@ func main() {
 	}
 }
 
-// emitJSON writes a machine-readable summary of the trials.
-func emitJSON(cfg core.Config, agg core.Aggregate) {
-	type diskJSON struct {
-		Requests    int64   `json:"requests"`
-		Blocks      int64   `json:"blocks"`
-		BusySeconds float64 `json:"busy_seconds"`
-		MeanSeekCyl float64 `json:"mean_seek_cylinders"`
-		MaxQueueLen int     `json:"max_queue_len"`
-	}
-	type trialJSON struct {
-		Seed          uint64     `json:"seed"`
-		TotalSeconds  float64    `json:"total_seconds"`
-		SuccessRatio  float64    `json:"success_ratio"`
-		Overlap       float64    `json:"mean_busy_disks"`
-		StallSeconds  float64    `json:"cpu_stall_seconds"`
-		StallP95Ms    float64    `json:"stall_p95_ms"`
-		MeanDepth     float64    `json:"mean_prefetch_depth"`
-		CachePeak     int64      `json:"cache_peak_blocks"`
-		MergedBlocks  int64      `json:"merged_blocks"`
-		WrittenBlocks int64      `json:"written_blocks,omitempty"`
-		Disks         []diskJSON `json:"disks"`
-	}
-	out := struct {
-		Strategy     string      `json:"strategy"`
-		K            int         `json:"k"`
-		D            int         `json:"d"`
-		N            int         `json:"n"`
-		BlocksPerRun int         `json:"blocks_per_run"`
-		CacheBlocks  int         `json:"cache_blocks"`
-		Trials       int         `json:"trials"`
-		MeanSeconds  float64     `json:"mean_total_seconds"`
-		CI95Seconds  float64     `json:"ci95_total_seconds"`
-		MeanSuccess  float64     `json:"mean_success_ratio"`
-		Results      []trialJSON `json:"results"`
-	}{
-		Strategy:     cfg.StrategyName(),
-		K:            cfg.K,
-		D:            cfg.D,
-		N:            cfg.N,
-		BlocksPerRun: cfg.BlocksPerRun,
-		CacheBlocks:  cfg.CacheBlocks,
-		Trials:       agg.Trials,
-		MeanSeconds:  agg.TotalTime.Mean(),
-		CI95Seconds:  agg.TotalTime.CI95(),
-		MeanSuccess:  agg.SuccessRatio.Mean(),
-	}
-	for _, r := range agg.Results {
-		tj := trialJSON{
-			Seed:          r.Config.Seed,
-			TotalSeconds:  r.TotalTime.Seconds(),
-			SuccessRatio:  r.SuccessRatio(),
-			Overlap:       r.MeanConcurrencyWhenBusy,
-			StallSeconds:  r.StallTime.Seconds(),
-			StallP95Ms:    r.StallP95().Milliseconds(),
-			MeanDepth:     r.MeanDepth,
-			CachePeak:     r.CachePeak,
-			MergedBlocks:  r.MergedBlocks,
-			WrittenBlocks: r.WrittenBlocks,
-		}
-		for _, d := range r.PerDisk {
-			tj.Disks = append(tj.Disks, diskJSON{
-				Requests:    d.Requests,
-				Blocks:      d.Blocks,
-				BusySeconds: d.BusyTime.Seconds(),
-				MeanSeekCyl: d.MeanSeekDistance(),
-				MaxQueueLen: d.MaxQueueLen,
-			})
-		}
-		out.Results = append(out.Results, tj)
-	}
+// emitJSON writes the shared machine-readable result schema
+// (core.ResultJSON) — the same document `simd` serves, so scripted
+// consumers can switch between the CLI and the daemon freely.
+func emitJSON(agg core.Aggregate) {
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := enc.Encode(core.NewResultJSON(agg)); err != nil {
 		fatal(err)
 	}
 }

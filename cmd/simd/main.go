@@ -1,0 +1,101 @@
+// Command simd is the simulation daemon: a long-lived HTTP front-end
+// over the merge-simulation engine with a result cache, singleflight
+// deduplication and admission control (see internal/service).
+//
+//	simd -addr :8080
+//
+// API:
+//
+//	POST /v1/simulate  one configuration, aggregated over trials
+//	POST /v1/sweep     a batch of configurations in one admitted run
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      Prometheus text format
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/simulate -d '{"k":25,"d":5,"n":10,"inter_run":true}'
+//
+// simd drains gracefully on SIGINT/SIGTERM: the health check flips to
+// 503, the listener stops accepting, in-flight requests and detached
+// engine runs finish (bounded by -drain-timeout), then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (use :0 for a random port)")
+		cacheEntries = flag.Int("cache", 1024, "result cache capacity in entries")
+		maxConc      = flag.Int("max-concurrent", 0, "max concurrent engine runs (0 = GOMAXPROCS)")
+		maxQueue     = flag.Int("queue", 0, "max runs queued for a slot before shedding with 429 (0 = 4x max-concurrent)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request budget: queue wait + engine run")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight work")
+		maxTrials    = flag.Int("max-trials", 64, "max trials per request")
+		maxPoints    = flag.Int("max-points", 512, "max points per sweep")
+		workers      = flag.Int("workers", 0, "engine pool size per admitted run (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Options{
+		CacheEntries:   *cacheEntries,
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *timeout,
+		MaxTrials:      *maxTrials,
+		MaxPoints:      *maxPoints,
+		Workers:        *workers,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("simd: %v", err)
+	}
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Printed on one line so scripts (CI, examples) can scrape the
+	// bound address even under -addr :0.
+	fmt.Printf("simd: listening on %s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Printf("simd: signal received, draining")
+	case err := <-errCh:
+		log.Fatalf("simd: serve: %v", err)
+	}
+
+	svc.StartDraining()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("simd: shutdown: %v", err)
+	}
+	if err := svc.Drain(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("simd: drain: %v", err)
+	}
+	st := svc.StatsSnapshot()
+	log.Printf("simd: drained (cache %d entries, %d hits, %d misses, %d deduped)",
+		st.CacheEntries, st.CacheHits, st.CacheMisses, st.DedupShared)
+}

@@ -1,0 +1,122 @@
+// Command simclient drives a running simd daemon through its whole
+// API: one simulate, the same simulate again (demonstrating the result
+// cache), a sweep, and a metrics scrape. Start the daemon first:
+//
+//	go run ./cmd/simd -addr :8080 &
+//	go run ./examples/simclient -addr localhost:8080
+//
+// It exits non-zero on the first unexpected response, which is what
+// lets CI use it as the service smoke test.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "simd host:port")
+	flag.Parse()
+	base := "http://" + *addr
+
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	// 1. Health.
+	body := get(client, base+"/healthz")
+	fmt.Printf("healthz        %s\n", strings.TrimSpace(body))
+
+	// 2. The paper's headline point: k=25, D=5, N=10, inter-run.
+	req := `{"k":25,"d":5,"n":10,"inter_run":true,"trials":3}`
+	var result struct {
+		Strategy    string  `json:"strategy"`
+		MeanSeconds float64 `json:"mean_total_seconds"`
+		MeanSuccess float64 `json:"mean_success_ratio"`
+	}
+	status := post(client, base+"/v1/simulate", req, &result)
+	fmt.Printf("simulate       %s: %.2fs mean, success %.3f (X-Cache: %s)\n",
+		result.Strategy, result.MeanSeconds, result.MeanSuccess, status)
+
+	// 3. Same request again: must be a cache hit.
+	status = post(client, base+"/v1/simulate", req, &result)
+	fmt.Printf("simulate again X-Cache: %s\n", status)
+	if status != "hit" {
+		fail("expected a cache hit on the repeated request, got %q", status)
+	}
+
+	// 4. A 4-point prefetch-depth sweep.
+	sweep := `{"trials":2,"points":[
+		{"k":25,"d":5,"n":1},
+		{"k":25,"d":5,"n":5},
+		{"k":25,"d":5,"n":10},
+		{"k":25,"d":5,"n":20}]}`
+	var sw struct {
+		Points []struct {
+			N           int     `json:"n"`
+			MeanSeconds float64 `json:"mean_total_seconds"`
+		} `json:"points"`
+	}
+	status = post(client, base+"/v1/sweep", sweep, &sw)
+	fmt.Printf("sweep          %d points (X-Cache: %s)\n", len(sw.Points), status)
+	for _, p := range sw.Points {
+		fmt.Printf("  N=%-3d %.2fs\n", p.N, p.MeanSeconds)
+	}
+	if len(sw.Points) != 4 {
+		fail("sweep returned %d points, want 4", len(sw.Points))
+	}
+
+	// 5. Metrics scrape.
+	metrics := get(client, base+"/metrics")
+	for _, line := range strings.Split(metrics, "\n") {
+		if strings.HasPrefix(line, "simd_cache_") || strings.HasPrefix(line, "simd_requests_total") {
+			fmt.Printf("metric         %s\n", line)
+		}
+	}
+	if !strings.Contains(metrics, "simd_cache_hits_total") {
+		fail("metrics exposition is missing simd_cache_hits_total")
+	}
+	fmt.Println("simclient: all checks passed")
+}
+
+// get fetches a URL and returns the body, failing the run on errors.
+func get(client *http.Client, url string) string {
+	resp, err := client.Get(url)
+	if err != nil {
+		fail("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fail("GET %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b)
+}
+
+// post sends a JSON body, decodes the response into out, and returns
+// the X-Cache header.
+func post(client *http.Client, url, body string, out any) string {
+	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		fail("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		fail("POST %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, out); err != nil {
+		fail("POST %s: bad response %s: %v", url, b, err)
+	}
+	return resp.Header.Get("X-Cache")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "simclient: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/parallel"
@@ -19,6 +20,15 @@ import (
 // count. Configurations carrying a Tracer or OnRequest observer force
 // the whole grid serial: those callbacks are not synchronized.
 func RunGrid(cfgs []Config, trials, workers int) ([]Aggregate, error) {
+	return RunGridContext(context.Background(), cfgs, trials, workers)
+}
+
+// RunGridContext is RunGrid with cooperative cancellation: once ctx is
+// done no further (point, trial) jobs start, in-flight jobs finish, and
+// the call returns ctx.Err() with no aggregates. Cancellation
+// granularity is one simulation job — a single pathological Run is
+// bounded by Config.MaxSimTime, not by ctx.
+func RunGridContext(ctx context.Context, cfgs []Config, trials, workers int) ([]Aggregate, error) {
 	if trials <= 0 {
 		return nil, fmt.Errorf("core: trials = %d", trials)
 	}
@@ -35,7 +45,7 @@ func RunGrid(cfgs []Config, trials, workers int) ([]Aggregate, error) {
 	jobs := len(cfgs) * trials
 	results := make([]Result, jobs)
 	errs := make([]error, jobs)
-	parallel.Do(jobs, workers, func(j int) {
+	if err := parallel.DoContext(ctx, jobs, workers, func(j int) {
 		point, trial := j/trials, j%trials
 		c := cfgs[point]
 		c.Seed += uint64(trial)
@@ -43,7 +53,9 @@ func RunGrid(cfgs []Config, trials, workers int) ([]Aggregate, error) {
 			c.Workload = c.WorkloadFactory(trial)
 		}
 		results[j], errs[j] = Run(c)
-	})
+	}); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

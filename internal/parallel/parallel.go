@@ -14,6 +14,7 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -28,8 +29,18 @@ func Workers() int { return runtime.GOMAXPROCS(0) }
 // order, with no goroutines — the serial reference the parallel path
 // must match.
 func Do(n, workers int, fn func(i int)) {
+	DoContext(context.Background(), n, workers, fn)
+}
+
+// DoContext is Do with cooperative cancellation: once ctx is done, no
+// further jobs are started, already-running jobs are allowed to finish
+// (jobs themselves are not interrupted — cancellation granularity is
+// one job), and DoContext returns ctx.Err(). All spawned goroutines
+// have exited by the time it returns, cancelled or not, so callers
+// never leak workers. A nil error means every job ran.
+func DoContext(ctx context.Context, n, workers int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers <= 0 {
 		workers = Workers()
@@ -39,9 +50,12 @@ func Do(n, workers int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -54,11 +68,18 @@ func Do(n, workers int, fn func(i int)) {
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // Map evaluates fn for every index in [0, n) across at most workers

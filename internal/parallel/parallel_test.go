@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -50,6 +51,49 @@ func TestDoBoundsConcurrency(t *testing.T) {
 	})
 	if peak > workers {
 		t.Fatalf("peak concurrency %d exceeds %d workers", peak, workers)
+	}
+}
+
+func TestDoContextCompletesWithoutCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var ran int32
+		if err := DoContext(context.Background(), 20, workers, func(int) {
+			atomic.AddInt32(&ran, 1)
+		}); err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		if ran != 20 {
+			t.Fatalf("workers=%d: ran %d of 20 jobs", workers, ran)
+		}
+	}
+}
+
+func TestDoContextStopsDispatchOnCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int32
+		err := DoContext(ctx, 1000, workers, func(i int) {
+			if atomic.AddInt32(&ran, 1) == 5 {
+				cancel()
+			}
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// In-flight jobs may finish, but dispatch must stop promptly:
+		// nothing close to the full grid can have run.
+		if n := atomic.LoadInt32(&ran); n >= 1000 {
+			t.Fatalf("workers=%d: all %d jobs ran despite cancellation", workers, n)
+		}
+	}
+}
+
+func TestDoContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := DoContext(ctx, 10, 4, func(int) {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

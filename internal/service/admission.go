@@ -1,0 +1,76 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrOverloaded reports that the admission queue is full: the request
+// was shed immediately (HTTP 429) instead of being allowed to pile up
+// and collapse the service.
+var ErrOverloaded = errors.New("service: overloaded, admission queue full")
+
+// gate is the admission controller: at most cap engine runs execute
+// concurrently, at most queue more may wait for a slot, and everything
+// beyond that is shed with ErrOverloaded. Waiting is abandoned when the
+// caller's context expires, which the HTTP layer maps to 503.
+type gate struct {
+	slots chan struct{} // buffered; one token per running job
+	queue int
+
+	mu      sync.Mutex
+	waiting int
+}
+
+func newGate(capacity, queue int) *gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &gate{slots: make(chan struct{}, capacity), queue: queue}
+}
+
+// acquire obtains a run slot. It returns nil when a slot is held,
+// ErrOverloaded when the wait queue is full, or ctx.Err() when the
+// context expires while queued.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	g.mu.Lock()
+	if g.waiting >= g.queue {
+		g.mu.Unlock()
+		return ErrOverloaded
+	}
+	g.waiting++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.waiting--
+		g.mu.Unlock()
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot acquired with acquire.
+func (g *gate) release() { <-g.slots }
+
+// depth reports how many callers are queued for a slot.
+func (g *gate) depth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiting
+}
+
+// inUse reports how many slots are held.
+func (g *gate) inUse() int { return len(g.slots) }

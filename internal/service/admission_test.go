@@ -1,0 +1,112 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestGateCapAndQueue(t *testing.T) {
+	g := newGate(1, 1)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second caller queues; third is shed immediately.
+	queued := make(chan error, 1)
+	entered := make(chan struct{})
+	go func() {
+		close(entered)
+		queued <- g.acquire(context.Background())
+	}()
+	<-entered
+	// Wait for the queued caller to register.
+	deadline := time.Now().Add(time.Second)
+	for g.depth() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queued caller never registered; depth = %d", g.depth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := g.acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("third acquire: err = %v, want ErrOverloaded", err)
+	}
+
+	g.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire failed: %v", err)
+	}
+	g.release()
+}
+
+func TestGateQueueTimesOutWithContext(t *testing.T) {
+	g := newGate(1, 4)
+	if err := g.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer g.release()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := g.acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if g.depth() != 0 {
+		t.Fatalf("depth = %d after timed-out waiter left", g.depth())
+	}
+}
+
+func TestGateConcurrencyNeverExceedsCap(t *testing.T) {
+	const maxRuns = 3
+	g := newGate(maxRuns, 100)
+	var mu sync.Mutex
+	cur, peak := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			cur++
+			if cur > peak {
+				peak = cur
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			cur--
+			mu.Unlock()
+			g.release()
+		}()
+	}
+	wg.Wait()
+	if peak > maxRuns {
+		t.Fatalf("peak concurrency %d exceeds cap %d", peak, maxRuns)
+	}
+}
+
+func TestFlightGroupDedups(t *testing.T) {
+	var g flightGroup
+	c1, lead1 := g.lead("k")
+	c2, lead2 := g.lead("k")
+	if !lead1 || lead2 {
+		t.Fatalf("leadership: %v, %v — want true, false", lead1, lead2)
+	}
+	if c1 != c2 {
+		t.Fatal("same key produced different calls")
+	}
+	g.finish("k", c1, []byte("v"), nil)
+	<-c2.done
+	if string(c2.val) != "v" {
+		t.Fatalf("waiter saw %q", c2.val)
+	}
+	// After finish, the key leads a fresh flight.
+	if _, lead := g.lead("k"); !lead {
+		t.Fatal("finished key did not retire")
+	}
+}

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is the size-bounded result cache: canonical config hash (plus
+// trial count) → the marshaled response body. Values are stored and
+// served as immutable byte slices, which is what makes cached responses
+// byte-identical to the cold ones they were copied from.
+type lru struct {
+	mu    sync.Mutex
+	max   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val []byte
+}
+
+func newLRU(max int) *lru {
+	if max < 1 {
+		max = 1
+	}
+	return &lru{max: max, ll: list.New(), items: make(map[string]*list.Element, max)}
+}
+
+// get returns the cached body for key and promotes it.
+func (c *lru) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// add inserts (or refreshes) key, evicting the least recently used
+// entry beyond capacity. Callers must not mutate val afterwards.
+func (c *lru) add(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	for c.ll.Len() > c.max {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the current entry count.
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,54 @@
+package service
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLRUBoundAndEviction(t *testing.T) {
+	c := newLRU(3)
+	for i := 0; i < 5; i++ {
+		c.add(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.len() != 3 {
+		t.Fatalf("len = %d, want 3", c.len())
+	}
+	for _, gone := range []string{"k0", "k1"} {
+		if _, ok := c.get(gone); ok {
+			t.Errorf("%s survived eviction", gone)
+		}
+	}
+	for _, kept := range []string{"k2", "k3", "k4"} {
+		if _, ok := c.get(kept); !ok {
+			t.Errorf("%s was evicted early", kept)
+		}
+	}
+}
+
+func TestLRUGetPromotes(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", []byte("A"))
+	c.add("b", []byte("B"))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.add("c", []byte("C")) // should evict b, the least recently used
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived though it was least recently used")
+	}
+	if v, ok := c.get("a"); !ok || string(v) != "A" {
+		t.Fatalf("a = %q, %v", v, ok)
+	}
+}
+
+func TestLRURefreshExistingKey(t *testing.T) {
+	c := newLRU(2)
+	c.add("a", []byte("old"))
+	c.add("a", []byte("new"))
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+	if v, _ := c.get("a"); string(v) != "new" {
+		t.Fatalf("a = %q, want new", v)
+	}
+}

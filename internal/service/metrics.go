@@ -1,0 +1,184 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, spanning a
+// cached lookup (~µs) to a long sweep. Prometheus convention: each
+// bucket counts observations ≤ its bound; +Inf is implicit.
+var latencyBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05,
+	.1, .25, .5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// metrics is the daemon's instrumentation: request counters by endpoint
+// and status code, serving-path counters (cache, singleflight,
+// admission) and a request-latency histogram from which the p50/p95/p99
+// summary lines are interpolated. All methods are safe for concurrent
+// use; Prometheus text rendering takes the same lock, so a scrape sees
+// a consistent snapshot.
+type metrics struct {
+	mu sync.Mutex
+
+	requests map[reqKey]int64
+	inFlight int64
+
+	cacheHits   int64
+	cacheMisses int64
+	dedupShared int64
+	shed        int64
+	timeouts    int64
+
+	latCounts []int64 // parallel to latencyBuckets
+	latInf    int64
+	latSum    float64
+	latCount  int64
+}
+
+// reqKey labels one requests-total series.
+type reqKey struct {
+	endpoint string
+	code     int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:  make(map[reqKey]int64),
+		latCounts: make([]int64, len(latencyBuckets)),
+	}
+}
+
+func (m *metrics) requestStarted() {
+	m.mu.Lock()
+	m.inFlight++
+	m.mu.Unlock()
+}
+
+// requestFinished records one completed request: its endpoint, HTTP
+// status code and wall-clock latency in seconds.
+func (m *metrics) requestFinished(endpoint string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inFlight--
+	m.requests[reqKey{endpoint, code}]++
+	m.latSum += seconds
+	m.latCount++
+	for i, ub := range latencyBuckets {
+		if seconds <= ub {
+			m.latCounts[i]++
+			return
+		}
+	}
+	m.latInf++
+}
+
+func (m *metrics) addCacheHits(n int64)   { m.mu.Lock(); m.cacheHits += n; m.mu.Unlock() }
+func (m *metrics) addCacheMisses(n int64) { m.mu.Lock(); m.cacheMisses += n; m.mu.Unlock() }
+func (m *metrics) addDedupShared(n int64) { m.mu.Lock(); m.dedupShared += n; m.mu.Unlock() }
+func (m *metrics) addShed()               { m.mu.Lock(); m.shed++; m.mu.Unlock() }
+func (m *metrics) addTimeout()            { m.mu.Lock(); m.timeouts++; m.mu.Unlock() }
+
+// snapshot returns (hits, misses, shared) for tests and logs.
+func (m *metrics) snapshot() (hits, misses, shared int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.cacheHits, m.cacheMisses, m.dedupShared
+}
+
+// quantile interpolates the q-quantile (0 < q < 1) of the latency
+// histogram in seconds, Prometheus histogram_quantile style: linear
+// within the winning bucket. Returns 0 with no observations.
+func (m *metrics) quantileLocked(q float64) float64 {
+	if m.latCount == 0 {
+		return 0
+	}
+	rank := q * float64(m.latCount)
+	var cum int64
+	lower := 0.0
+	for i, ub := range latencyBuckets {
+		prev := cum
+		cum += m.latCounts[i]
+		if float64(cum) >= rank {
+			if m.latCounts[i] == 0 {
+				return ub
+			}
+			frac := (rank - float64(prev)) / float64(m.latCounts[i])
+			return lower + frac*(ub-lower)
+		}
+		lower = ub
+	}
+	// The quantile falls in the +Inf bucket; report the largest finite
+	// bound, the conventional floor for an unbounded tail.
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// writePrometheus renders the Prometheus text exposition format.
+// queueDepth and cacheEntries are sampled by the caller at scrape time
+// (they live in the gate and the LRU, not here).
+func (m *metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP simd_requests_total Completed HTTP requests by endpoint and status code.")
+	fmt.Fprintln(w, "# TYPE simd_requests_total counter")
+	keys := make([]reqKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	for _, k := range keys {
+		fmt.Fprintf(w, "simd_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+
+	fmt.Fprintln(w, "# HELP simd_in_flight Requests currently being served.")
+	fmt.Fprintln(w, "# TYPE simd_in_flight gauge")
+	fmt.Fprintf(w, "simd_in_flight %d\n", m.inFlight)
+
+	fmt.Fprintln(w, "# HELP simd_cache_hits_total Simulation points served from the result cache.")
+	fmt.Fprintln(w, "# TYPE simd_cache_hits_total counter")
+	fmt.Fprintf(w, "simd_cache_hits_total %d\n", m.cacheHits)
+	fmt.Fprintln(w, "# HELP simd_cache_misses_total Simulation points that required an engine run.")
+	fmt.Fprintln(w, "# TYPE simd_cache_misses_total counter")
+	fmt.Fprintf(w, "simd_cache_misses_total %d\n", m.cacheMisses)
+	fmt.Fprintln(w, "# HELP simd_cache_entries Result-cache occupancy.")
+	fmt.Fprintln(w, "# TYPE simd_cache_entries gauge")
+	fmt.Fprintf(w, "simd_cache_entries %d\n", cacheEntries)
+
+	fmt.Fprintln(w, "# HELP simd_dedup_shared_total Requests that joined an identical in-flight run.")
+	fmt.Fprintln(w, "# TYPE simd_dedup_shared_total counter")
+	fmt.Fprintf(w, "simd_dedup_shared_total %d\n", m.dedupShared)
+
+	fmt.Fprintln(w, "# HELP simd_admission_shed_total Requests shed with 429 because the queue was full.")
+	fmt.Fprintln(w, "# TYPE simd_admission_shed_total counter")
+	fmt.Fprintf(w, "simd_admission_shed_total %d\n", m.shed)
+	fmt.Fprintln(w, "# HELP simd_request_timeouts_total Requests that expired while queued or running.")
+	fmt.Fprintln(w, "# TYPE simd_request_timeouts_total counter")
+	fmt.Fprintf(w, "simd_request_timeouts_total %d\n", m.timeouts)
+	fmt.Fprintln(w, "# HELP simd_queue_depth Callers waiting for an engine slot.")
+	fmt.Fprintln(w, "# TYPE simd_queue_depth gauge")
+	fmt.Fprintf(w, "simd_queue_depth %d\n", queueDepth)
+
+	fmt.Fprintln(w, "# HELP simd_request_latency_seconds Request latency.")
+	fmt.Fprintln(w, "# TYPE simd_request_latency_seconds histogram")
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += m.latCounts[i]
+		fmt.Fprintf(w, "simd_request_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += m.latInf
+	fmt.Fprintf(w, "simd_request_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "simd_request_latency_seconds_sum %g\n", m.latSum)
+	fmt.Fprintf(w, "simd_request_latency_seconds_count %d\n", m.latCount)
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		fmt.Fprintf(w, "simd_request_latency_seconds{quantile=\"%g\"} %g\n", q, m.quantileLocked(q))
+	}
+}

@@ -1,0 +1,363 @@
+// Package service is the simulation-as-a-service layer: a long-lived
+// front-end over core.RunGrid with the serving internals a daemon
+// needs to survive heavy repeated traffic.
+//
+// Serving path, in order:
+//
+//  1. Result cache — a simulation result is a pure function of
+//     (core.Config, trials), so each point is keyed by the canonical
+//     config hash (core.Config.Hash) plus the trial count and cached
+//     in a size-bounded LRU. Repeat traffic is an O(1) lookup and the
+//     cached bytes are the exact bytes the cold request produced.
+//  2. Singleflight — concurrent requests for the same key share one
+//     engine run; waiters block on the shared call instead of
+//     duplicating work. Execution is detached from any single
+//     requester's context so one impatient client cannot abort a run
+//     other clients are waiting on.
+//  3. Admission control — at most MaxConcurrent engine runs execute at
+//     once, at most MaxQueue flights wait for a slot, and everything
+//     beyond that is shed with ErrOverloaded (HTTP 429) instead of
+//     letting goroutines pile up until the process collapses. Queued
+//     flights that outlive the request timeout fail with
+//     context.DeadlineExceeded (HTTP 503).
+//
+// Shutdown: stop accepting requests (http.Server.Shutdown drains
+// handlers), then Drain waits for detached engine runs so the process
+// exits with no simulation in flight.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Options configures a Service. Zero values take the documented
+// defaults.
+type Options struct {
+	// CacheEntries bounds the result cache (default 1024 entries).
+	CacheEntries int
+	// MaxConcurrent caps simultaneously executing engine runs
+	// (default GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue caps flights waiting for a run slot before new work is
+	// shed with ErrOverloaded (default 4 × MaxConcurrent).
+	MaxQueue int
+	// RequestTimeout bounds one request end to end: queue wait plus
+	// engine run (default 30s).
+	RequestTimeout time.Duration
+	// MaxTrials bounds per-request replications (default 64).
+	MaxTrials int
+	// MaxPoints bounds sweep batch size (default 512).
+	MaxPoints int
+	// Workers caps the engine pool one admitted run fans out over
+	// (default GOMAXPROCS).
+	Workers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1024
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 4 * o.MaxConcurrent
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxTrials <= 0 {
+		o.MaxTrials = 64
+	}
+	if o.MaxPoints <= 0 {
+		o.MaxPoints = 512
+	}
+	return o
+}
+
+// Service serves simulation requests. Create with New; safe for
+// concurrent use.
+type Service struct {
+	opts    Options
+	cache   *lru
+	flights flightGroup
+	gate    *gate
+	met     *metrics
+
+	wg       sync.WaitGroup // detached engine executions
+	draining atomic.Bool
+}
+
+// New returns a ready Service.
+func New(opts Options) *Service {
+	o := opts.withDefaults()
+	return &Service{
+		opts:  o,
+		cache: newLRU(o.CacheEntries),
+		gate:  newGate(o.MaxConcurrent, o.MaxQueue),
+		met:   newMetrics(),
+	}
+}
+
+// CacheStatus reports how a simulate response was produced.
+type CacheStatus string
+
+const (
+	// CacheHit: served from the result cache, no engine run.
+	CacheHit CacheStatus = "hit"
+	// CacheMiss: this request led a fresh engine run.
+	CacheMiss CacheStatus = "miss"
+	// CacheShared: joined an identical run another request started.
+	CacheShared CacheStatus = "shared"
+)
+
+// resultKey keys the cache and singleflight: simulation results depend
+// on the canonical config and the trial count, nothing else.
+func resultKey(cfg core.Config, trials int) (string, error) {
+	h, err := cfg.Hash()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%s/%d", h, trials), nil
+}
+
+// Simulate serves one point aggregated over its trials, returning the
+// marshaled core.ResultJSON body.
+func (s *Service) Simulate(ctx context.Context, req SimulateRequest) ([]byte, CacheStatus, error) {
+	trials, err := s.trials(req.Trials)
+	if err != nil {
+		return nil, "", err
+	}
+	cfg, err := req.config()
+	if err != nil {
+		return nil, "", err
+	}
+	key, err := resultKey(cfg, trials)
+	if err != nil {
+		return nil, "", err
+	}
+	if b, ok := s.cache.get(key); ok {
+		s.met.addCacheHits(1)
+		return b, CacheHit, nil
+	}
+	s.met.addCacheMisses(1)
+	c, leader := s.flights.lead(key)
+	status := CacheMiss
+	if leader {
+		s.spawn([]string{key}, []*call{c}, []core.Config{cfg}, trials)
+	} else {
+		s.met.addDedupShared(1)
+		status = CacheShared
+	}
+	b, err := s.await(ctx, c)
+	return b, status, err
+}
+
+// sweepResponse is the wire form of a sweep result: one shared-schema
+// result per requested point, in request order.
+type sweepResponse struct {
+	Trials int               `json:"trials"`
+	Points []json.RawMessage `json:"points"`
+}
+
+// Sweep serves a batch of points. Cached points are answered from the
+// cache; the remainder — minus any point already in flight elsewhere —
+// is fanned out through core.RunGrid as one admitted run, so a sweep
+// occupies one concurrency slot regardless of size. Returns the body
+// plus (hits, points) for the X-Cache accounting.
+func (s *Service) Sweep(ctx context.Context, req SweepRequest) ([]byte, int, int, error) {
+	if len(req.Points) == 0 {
+		return nil, 0, 0, badRequestf("sweep has no points")
+	}
+	if len(req.Points) > s.opts.MaxPoints {
+		return nil, 0, 0, badRequestf("%d points exceeds the limit of %d", len(req.Points), s.opts.MaxPoints)
+	}
+	trials, err := s.trials(req.Trials)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+
+	n := len(req.Points)
+	out := make([]json.RawMessage, n)
+	waits := make([]*call, n)
+	var leadKeys []string
+	var leadCalls []*call
+	var leadCfgs []core.Config
+	var hits, misses, shared int64
+	for i, p := range req.Points {
+		if p.Trials != 0 {
+			return nil, 0, 0, badRequestf("points[%d]: set trials at the sweep level, not per point", i)
+		}
+		cfg, err := p.config()
+		if err != nil {
+			return nil, 0, 0, badRequestf("points[%d]: %v", i, err)
+		}
+		key, err := resultKey(cfg, trials)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if b, ok := s.cache.get(key); ok {
+			out[i] = b
+			hits++
+			continue
+		}
+		misses++
+		c, leader := s.flights.lead(key)
+		waits[i] = c
+		if leader {
+			leadKeys = append(leadKeys, key)
+			leadCalls = append(leadCalls, c)
+			leadCfgs = append(leadCfgs, cfg)
+		} else {
+			shared++
+		}
+	}
+	s.met.addCacheHits(hits)
+	s.met.addCacheMisses(misses)
+	s.met.addDedupShared(shared)
+
+	if len(leadCfgs) > 0 {
+		s.spawn(leadKeys, leadCalls, leadCfgs, trials)
+	}
+	for i, c := range waits {
+		if c == nil {
+			continue
+		}
+		b, err := s.await(ctx, c)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		out[i] = b
+	}
+	body, err := json.Marshal(sweepResponse{Trials: trials, Points: out})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return body, int(hits), n, nil
+}
+
+// trials resolves and bounds a requested trial count.
+func (s *Service) trials(req int) (int, error) {
+	switch {
+	case req == 0:
+		return 1, nil
+	case req < 0:
+		return 0, badRequestf("trials = %d", req)
+	case req > s.opts.MaxTrials:
+		return 0, badRequestf("trials = %d exceeds the limit of %d", req, s.opts.MaxTrials)
+	}
+	return req, nil
+}
+
+// spawn starts the detached execution of the flights this caller
+// leads. Detached means: its lifetime is bounded by the service's
+// RequestTimeout and tracked for Drain, not by any one requester's
+// context.
+func (s *Service) spawn(keys []string, calls []*call, cfgs []core.Config, trials int) {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), s.opts.RequestTimeout)
+		defer cancel()
+		s.execute(ctx, keys, calls, cfgs, trials)
+	}()
+}
+
+// execute admits one engine run for the batch, runs it, caches each
+// point's body, and finishes every call exactly once.
+func (s *Service) execute(ctx context.Context, keys []string, calls []*call, cfgs []core.Config, trials int) {
+	fail := func(err error) {
+		for i := range calls {
+			s.flights.finish(keys[i], calls[i], nil, err)
+		}
+	}
+	if err := s.gate.acquire(ctx); err != nil {
+		if err == ErrOverloaded {
+			s.met.addShed()
+		}
+		fail(err)
+		return
+	}
+	defer s.gate.release()
+	aggs, err := core.RunGridContext(ctx, cfgs, trials, s.opts.Workers)
+	if err != nil {
+		fail(err)
+		return
+	}
+	for i := range calls {
+		b, err := json.Marshal(core.NewResultJSON(aggs[i]))
+		if err == nil {
+			s.cache.add(keys[i], b)
+		}
+		s.flights.finish(keys[i], calls[i], b, err)
+	}
+}
+
+// await blocks until the shared call completes or the caller's context
+// expires. An expired waiter abandons only its own wait — the run keeps
+// going for everyone else and still lands in the cache.
+func (s *Service) await(ctx context.Context, c *call) ([]byte, error) {
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// StartDraining flips the health endpoint to 503 so load balancers
+// stop routing here while in-flight work completes.
+func (s *Service) StartDraining() { s.draining.Store(true) }
+
+// Draining reports whether StartDraining has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// Drain blocks until every detached engine execution has finished, or
+// ctx expires. Call after http.Server.Shutdown: handlers are gone, but
+// singleflight leaders may still be running for the cache's benefit.
+func (s *Service) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats is a point-in-time snapshot of the serving counters.
+type Stats struct {
+	CacheHits, CacheMisses, DedupShared int64
+	CacheEntries, QueueDepth, InUse     int
+}
+
+// StatsSnapshot returns current serving counters (used by tests and
+// the daemon's shutdown log).
+func (s *Service) StatsSnapshot() Stats {
+	hits, misses, shared := s.met.snapshot()
+	return Stats{
+		CacheHits:    hits,
+		CacheMisses:  misses,
+		DedupShared:  shared,
+		CacheEntries: s.cache.len(),
+		QueueDepth:   s.gate.depth(),
+		InUse:        s.gate.inUse(),
+	}
+}

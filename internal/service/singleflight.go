@@ -1,0 +1,49 @@
+package service
+
+import "sync"
+
+// call is one in-flight engine execution. Waiters block on done; val
+// and err are written exactly once, before done is closed.
+type call struct {
+	done chan struct{}
+	val  []byte
+	err  error
+}
+
+// flightGroup deduplicates concurrent identical work: all requests for
+// the same key share one execution. Unlike x/sync/singleflight, the
+// leader here only *registers* the call — execution happens in a
+// goroutine owned by the Service so a waiter's context cancellation
+// never aborts work other waiters still want.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*call
+}
+
+// lead returns the call for key, creating it if absent. The second
+// result reports whether the caller created it and therefore owns
+// running the work and finishing the call.
+func (g *flightGroup) lead(key string) (*call, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.calls == nil {
+		g.calls = make(map[string]*call)
+	}
+	if c, ok := g.calls[key]; ok {
+		return c, false
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	return c, true
+}
+
+// finish publishes the result, wakes every waiter, and retires the key
+// so later requests (a cache miss after eviction, or a failed run) can
+// start a fresh flight.
+func (g *flightGroup) finish(key string, c *call, val []byte, err error) {
+	c.val, c.err = val, err
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+}
