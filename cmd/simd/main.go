@@ -41,6 +41,7 @@ func main() {
 	var (
 		addr         = flag.String("addr", ":8080", "listen address (use :0 for a random port)")
 		cacheEntries = flag.Int("cache", 1024, "result cache capacity in entries")
+		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "result cache capacity in bytes (bodies only; -1 = unbounded)")
 		maxConc      = flag.Int("max-concurrent", 0, "max concurrent engine runs (0 = GOMAXPROCS)")
 		maxQueue     = flag.Int("queue", 0, "max runs queued for a slot before shedding with 429 (0 = 4x max-concurrent)")
 		timeout      = flag.Duration("timeout", 30*time.Second, "per-request budget: queue wait + engine run")
@@ -53,6 +54,7 @@ func main() {
 
 	svc := service.New(service.Options{
 		CacheEntries:   *cacheEntries,
+		CacheBytes:     *cacheBytes,
 		MaxConcurrent:  *maxConc,
 		MaxQueue:       *maxQueue,
 		RequestTimeout: *timeout,
@@ -96,6 +98,6 @@ func main() {
 		log.Printf("simd: drain: %v", err)
 	}
 	st := svc.StatsSnapshot()
-	log.Printf("simd: drained (cache %d entries, %d hits, %d misses, %d deduped)",
-		st.CacheEntries, st.CacheHits, st.CacheMisses, st.DedupShared)
+	log.Printf("simd: drained (cache %d entries / %d bytes, %d hits, %d misses, %d deduped)",
+		st.CacheEntries, st.CacheBytes, st.CacheHits, st.CacheMisses, st.DedupShared)
 }

@@ -37,10 +37,16 @@ func Do(n, workers int, fn func(i int)) {
 // (jobs themselves are not interrupted — cancellation granularity is
 // one job), and DoContext returns ctx.Err(). All spawned goroutines
 // have exited by the time it returns, cancelled or not, so callers
-// never leak workers. A nil error means every job ran.
+// never leak workers. Error and completion correspond exactly: nil
+// means every job ran, non-nil means at least one job was skipped — a
+// cancellation that lands only after the last job completed does not
+// fail the run.
 func DoContext(ctx context.Context, n, workers int, fn func(i int)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if n <= 0 {
-		return ctx.Err()
+		return nil
 	}
 	if workers <= 0 {
 		workers = Workers()
@@ -55,7 +61,7 @@ func DoContext(ctx context.Context, n, workers int, fn func(i int)) error {
 			}
 			fn(i)
 		}
-		return ctx.Err()
+		return nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -69,16 +75,21 @@ func DoContext(ctx context.Context, n, workers int, fn func(i int)) error {
 		}()
 	}
 	done := ctx.Done()
+	dispatchedAll := true
 dispatch:
 	for i := 0; i < n; i++ {
 		select {
 		case next <- i:
 		case <-done:
+			dispatchedAll = false
 			break dispatch
 		}
 	}
 	close(next)
 	wg.Wait()
+	if dispatchedAll {
+		return nil
+	}
 	return ctx.Err()
 }
 

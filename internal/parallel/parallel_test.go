@@ -89,6 +89,32 @@ func TestDoContextStopsDispatchOnCancel(t *testing.T) {
 	}
 }
 
+// TestDoContextLateCancelStillSucceeds: a cancellation that only lands
+// after every job has been dispatched and completed must not fail the
+// run — callers like core.RunGridContext would otherwise throw away a
+// fully computed result.
+func TestDoContextLateCancelStillSucceeds(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int32
+		// The job that observes the full count cancels: every job was
+		// dispatched by then, so the run completed despite ctx being
+		// done before DoContext returns.
+		err := DoContext(ctx, 20, workers, func(int) {
+			if atomic.AddInt32(&ran, 1) == 20 {
+				cancel()
+			}
+		})
+		cancel()
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v after all jobs ran", workers, err)
+		}
+		if ran != 20 {
+			t.Fatalf("workers=%d: ran %d of 20 jobs", workers, ran)
+		}
+	}
+}
+
 func TestDoContextPreCancelled(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -9,11 +9,19 @@ import (
 // trial count) → the marshaled response body. Values are stored and
 // served as immutable byte slices, which is what makes cached responses
 // byte-identical to the cold ones they were copied from.
+//
+// Bodies vary wildly in size (a 1-trial point is ~1 KiB; a
+// MaxTrials-trial sweep point with per-disk arrays runs to hundreds of
+// KiB), so the cache is bounded two ways: an entry count and a total
+// byte budget, whichever bites first. Eviction is LRU order under
+// either bound.
 type lru struct {
-	mu    sync.Mutex
-	max   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
+	mu       sync.Mutex
+	max      int        // entry bound
+	maxBytes int64      // byte bound over stored values; 0 = unbounded
+	bytes    int64      // current sum of len(val) over entries
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
 }
 
 type lruEntry struct {
@@ -21,11 +29,14 @@ type lruEntry struct {
 	val []byte
 }
 
-func newLRU(max int) *lru {
+func newLRU(max int, maxBytes int64) *lru {
 	if max < 1 {
 		max = 1
 	}
-	return &lru{max: max, ll: list.New(), items: make(map[string]*list.Element, max)}
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	return &lru{max: max, maxBytes: maxBytes, ll: list.New(), items: make(map[string]*list.Element, max)}
 }
 
 // get returns the cached body for key and promotes it.
@@ -40,22 +51,42 @@ func (c *lru) get(key string) ([]byte, bool) {
 	return el.Value.(*lruEntry).val, true
 }
 
-// add inserts (or refreshes) key, evicting the least recently used
-// entry beyond capacity. Callers must not mutate val afterwards.
+// add inserts (or refreshes) key, then evicts least-recently-used
+// entries until both the entry and byte bounds hold. A value larger
+// than the whole byte budget is not admitted at all (and refreshing a
+// key with one drops the stale entry) — it stays servable through the
+// flight that produced it, it just never displaces the rest of the
+// cache. Callers must not mutate val afterwards.
 func (c *lru) add(key string, val []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).val = val
+	if c.maxBytes > 0 && int64(len(val)) > c.maxBytes {
+		if el, ok := c.items[key]; ok {
+			c.removeLocked(el)
+		}
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
-	for c.ll.Len() > c.max {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.items, last.Value.(*lruEntry).key)
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*lruEntry)
+		c.bytes += int64(len(val)) - int64(len(ent.val))
+		ent.val = val
+	} else {
+		c.items[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+		c.bytes += int64(len(val))
 	}
+	// The freshly added entry always survives: it is at the front, it
+	// fits the byte budget on its own, and max >= 1.
+	for c.ll.Len() > c.max || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
+		c.removeLocked(c.ll.Back())
+	}
+}
+
+func (c *lru) removeLocked(el *list.Element) {
+	ent := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.bytes -= int64(len(ent.val))
 }
 
 // len reports the current entry count.
@@ -63,4 +94,11 @@ func (c *lru) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// size reports the current entry count and total stored bytes.
+func (c *lru) size() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.bytes
 }

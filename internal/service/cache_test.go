@@ -6,7 +6,7 @@ import (
 )
 
 func TestLRUBoundAndEviction(t *testing.T) {
-	c := newLRU(3)
+	c := newLRU(3, 0)
 	for i := 0; i < 5; i++ {
 		c.add(fmt.Sprintf("k%d", i), []byte{byte(i)})
 	}
@@ -26,7 +26,7 @@ func TestLRUBoundAndEviction(t *testing.T) {
 }
 
 func TestLRUGetPromotes(t *testing.T) {
-	c := newLRU(2)
+	c := newLRU(2, 0)
 	c.add("a", []byte("A"))
 	c.add("b", []byte("B"))
 	if _, ok := c.get("a"); !ok {
@@ -42,7 +42,7 @@ func TestLRUGetPromotes(t *testing.T) {
 }
 
 func TestLRURefreshExistingKey(t *testing.T) {
-	c := newLRU(2)
+	c := newLRU(2, 0)
 	c.add("a", []byte("old"))
 	c.add("a", []byte("new"))
 	if c.len() != 1 {
@@ -50,5 +50,37 @@ func TestLRURefreshExistingKey(t *testing.T) {
 	}
 	if v, _ := c.get("a"); string(v) != "new" {
 		t.Fatalf("a = %q, want new", v)
+	}
+}
+
+func TestLRUByteBound(t *testing.T) {
+	c := newLRU(100, 10)
+	c.add("a", []byte("aaaa")) // 4 bytes
+	c.add("b", []byte("bbbb")) // 8 total
+	c.add("c", []byte("cccc")) // 12 total: evicts a, the LRU entry
+	if _, ok := c.get("a"); ok {
+		t.Fatal("a survived the byte bound")
+	}
+	for _, kept := range []string{"b", "c"} {
+		if _, ok := c.get(kept); !ok {
+			t.Errorf("%s was evicted though the remaining set fits", kept)
+		}
+	}
+	if entries, bytes := c.size(); entries != 2 || bytes != 8 {
+		t.Fatalf("size = (%d entries, %d bytes), want (2, 8)", entries, bytes)
+	}
+	// Refreshing a key accounts the delta, not a second copy.
+	c.add("b", []byte("bb"))
+	if _, bytes := c.size(); bytes != 6 {
+		t.Fatalf("bytes after refresh = %d, want 6", bytes)
+	}
+	// A value larger than the whole budget never displaces the rest: it
+	// is evicted immediately and the previous entries survive.
+	c.add("huge", make([]byte, 64))
+	if _, ok := c.get("huge"); ok {
+		t.Fatal("over-budget value was cached")
+	}
+	if entries, bytes := c.size(); entries != 2 || bytes != 6 {
+		t.Fatalf("size after oversized add = (%d, %d), want (2, 6)", entries, bytes)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -79,17 +80,25 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.writePrometheus(w, s.gate.depth(), s.cache.len())
+	entries, bytes := s.cache.size()
+	s.met.writePrometheus(w, s.gate.depth(), entries, bytes)
 	return http.StatusOK
 }
 
 // decodeBody strictly decodes a bounded JSON body into dst; a non-zero
-// return is the error status already written.
+// return is the error status already written. Strict means strict to
+// the end: a body must be exactly one JSON value, so trailing bytes
+// (concatenated objects, stray garbage) are a 400, not silently
+// ignored.
 func decodeBody(w http.ResponseWriter, r *http.Request, dst any) int {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
 		writeErrorBody(w, http.StatusBadRequest, fmt.Sprintf("invalid request body: %v", err))
+		return http.StatusBadRequest
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		writeErrorBody(w, http.StatusBadRequest, "invalid request body: trailing data after JSON value")
 		return http.StatusBadRequest
 	}
 	return 0

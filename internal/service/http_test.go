@@ -125,6 +125,8 @@ func TestBadRequestsAre400(t *testing.T) {
 		{"bad schedule", `{"schedule": "elevator"}`},
 		{"invalid shape", `{"k": 1}`},
 		{"negative trials", `{"trials": -1}`},
+		{"trailing garbage", `{"k": 4}garbage`},
+		{"concatenated objects", `{"k": 4}{"k": 8}`},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -203,6 +205,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"simd_cache_hits_total 1",
 		"simd_cache_misses_total 1",
 		"simd_cache_entries 1",
+		"# TYPE simd_cache_bytes gauge",
+		"\nsimd_cache_bytes ",
 		"simd_request_latency_seconds_count 2",
 		`simd_request_latency_seconds{quantile="0.95"}`,
 		`simd_request_latency_seconds_bucket{le="+Inf"} 2`,

@@ -117,9 +117,9 @@ func (m *metrics) quantileLocked(q float64) float64 {
 }
 
 // writePrometheus renders the Prometheus text exposition format.
-// queueDepth and cacheEntries are sampled by the caller at scrape time
-// (they live in the gate and the LRU, not here).
-func (m *metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int) {
+// queueDepth, cacheEntries and cacheBytes are sampled by the caller at
+// scrape time (they live in the gate and the LRU, not here).
+func (m *metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int, cacheBytes int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -152,6 +152,9 @@ func (m *metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int) {
 	fmt.Fprintln(w, "# HELP simd_cache_entries Result-cache occupancy.")
 	fmt.Fprintln(w, "# TYPE simd_cache_entries gauge")
 	fmt.Fprintf(w, "simd_cache_entries %d\n", cacheEntries)
+	fmt.Fprintln(w, "# HELP simd_cache_bytes Total bytes of cached response bodies.")
+	fmt.Fprintln(w, "# TYPE simd_cache_bytes gauge")
+	fmt.Fprintf(w, "simd_cache_bytes %d\n", cacheBytes)
 
 	fmt.Fprintln(w, "# HELP simd_dedup_shared_total Requests that joined an identical in-flight run.")
 	fmt.Fprintln(w, "# TYPE simd_dedup_shared_total counter")

@@ -34,11 +34,11 @@ type SimulateRequest struct {
 	Seed    uint64  `json:"seed,omitempty"`   // 0 = 1
 	Trials  int     `json:"trials,omitempty"` // 0 = 1; capped by Options.MaxTrials
 
-	Admission string `json:"admission,omitempty"` // all-or-demand | greedy
-	Schedule  string `json:"schedule,omitempty"`  // fcfs | sstf | scan
-	Placement string `json:"placement,omitempty"` // round-robin | clustered | striped
+	Admission string `json:"admission,omitempty"`  // all-or-demand | greedy
+	Schedule  string `json:"schedule,omitempty"`   // fcfs | sstf | scan
+	Placement string `json:"placement,omitempty"`  // round-robin | clustered | striped
 	RunPolicy string `json:"run_policy,omitempty"` // random | least-buffered | round-robin | oracle
-	Disk      string `json:"disk,omitempty"`      // paper | modern
+	Disk      string `json:"disk,omitempty"`       // paper | modern
 
 	Write *WriteRequest `json:"write,omitempty"`
 }

@@ -41,8 +41,17 @@ import (
 // Options configures a Service. Zero values take the documented
 // defaults.
 type Options struct {
-	// CacheEntries bounds the result cache (default 1024 entries).
+	// CacheEntries bounds the result cache's entry count (default
+	// 1024). Entries are whole marshaled response bodies, which range
+	// from ~1 KiB (one trial) to hundreds of KiB (MaxTrials trials
+	// with per-disk arrays), so the entry bound alone leaves worst-case
+	// memory at CacheEntries × the largest body — use CacheBytes to cap
+	// the total.
 	CacheEntries int
+	// CacheBytes bounds the total bytes of cached response bodies
+	// (default 256 MiB; negative disables the byte bound). Whichever of
+	// CacheEntries/CacheBytes bites first drives LRU eviction.
+	CacheBytes int64
 	// MaxConcurrent caps simultaneously executing engine runs
 	// (default GOMAXPROCS).
 	MaxConcurrent int
@@ -64,6 +73,12 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.CacheEntries <= 0 {
 		o.CacheEntries = 1024
+	}
+	switch {
+	case o.CacheBytes == 0:
+		o.CacheBytes = 256 << 20
+	case o.CacheBytes < 0:
+		o.CacheBytes = 0 // unbounded
 	}
 	if o.MaxConcurrent <= 0 {
 		o.MaxConcurrent = runtime.GOMAXPROCS(0)
@@ -101,7 +116,7 @@ func New(opts Options) *Service {
 	o := opts.withDefaults()
 	return &Service{
 		opts:  o,
-		cache: newLRU(o.CacheEntries),
+		cache: newLRU(o.CacheEntries, o.CacheBytes),
 		gate:  newGate(o.MaxConcurrent, o.MaxQueue),
 		met:   newMetrics(),
 	}
@@ -148,10 +163,10 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) ([]byte, Ca
 		s.met.addCacheHits(1)
 		return b, CacheHit, nil
 	}
-	s.met.addCacheMisses(1)
 	c, leader := s.flights.lead(key)
 	status := CacheMiss
 	if leader {
+		s.met.addCacheMisses(1)
 		s.spawn([]string{key}, []*call{c}, []core.Config{cfg}, trials)
 	} else {
 		s.met.addDedupShared(1)
@@ -185,13 +200,16 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) ([]byte, int, int
 		return nil, 0, 0, err
 	}
 
+	// First pass: validate every point and compute every key before
+	// touching the cache or the flight table. Leading a flight obliges
+	// this request to spawn its execution — only execute retires a
+	// flight key, so an error return between lead and spawn would leave
+	// the key poisoned and every later request for it blocking on a
+	// flight nobody runs. All request-shaped error paths therefore
+	// happen here, where no flight exists yet.
 	n := len(req.Points)
-	out := make([]json.RawMessage, n)
-	waits := make([]*call, n)
-	var leadKeys []string
-	var leadCalls []*call
-	var leadCfgs []core.Config
-	var hits, misses, shared int64
+	cfgs := make([]core.Config, n)
+	keys := make([]string, n)
 	for i, p := range req.Points {
 		if p.Trials != 0 {
 			return nil, 0, 0, badRequestf("points[%d]: set trials at the sweep level, not per point", i)
@@ -204,18 +222,30 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) ([]byte, int, int
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		if b, ok := s.cache.get(key); ok {
+		cfgs[i], keys[i] = cfg, key
+	}
+
+	// Second pass: cache lookups and flight registration. No return
+	// until every led flight has been handed to spawn.
+	out := make([]json.RawMessage, n)
+	waits := make([]*call, n)
+	var leadKeys []string
+	var leadCalls []*call
+	var leadCfgs []core.Config
+	var hits, misses, shared int64
+	for i := range req.Points {
+		if b, ok := s.cache.get(keys[i]); ok {
 			out[i] = b
 			hits++
 			continue
 		}
-		misses++
-		c, leader := s.flights.lead(key)
+		c, leader := s.flights.lead(keys[i])
 		waits[i] = c
 		if leader {
-			leadKeys = append(leadKeys, key)
+			misses++
+			leadKeys = append(leadKeys, keys[i])
 			leadCalls = append(leadCalls, c)
-			leadCfgs = append(leadCfgs, cfg)
+			leadCfgs = append(leadCfgs, cfgs[i])
 		} else {
 			shared++
 		}
@@ -345,6 +375,7 @@ func (s *Service) Drain(ctx context.Context) error {
 // Stats is a point-in-time snapshot of the serving counters.
 type Stats struct {
 	CacheHits, CacheMisses, DedupShared int64
+	CacheBytes                          int64
 	CacheEntries, QueueDepth, InUse     int
 }
 
@@ -352,11 +383,13 @@ type Stats struct {
 // the daemon's shutdown log).
 func (s *Service) StatsSnapshot() Stats {
 	hits, misses, shared := s.met.snapshot()
+	entries, bytes := s.cache.size()
 	return Stats{
 		CacheHits:    hits,
 		CacheMisses:  misses,
 		DedupShared:  shared,
-		CacheEntries: s.cache.len(),
+		CacheBytes:   bytes,
+		CacheEntries: entries,
 		QueueDepth:   s.gate.depth(),
 		InUse:        s.gate.inUse(),
 	}

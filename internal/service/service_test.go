@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -74,14 +75,16 @@ func TestSingleflightSharesOneRun(t *testing.T) {
 		}
 	}
 	hits, misses, shared := svc.met.snapshot()
-	// Clients either hit the cache (arrived after the run finished) or
-	// joined the in-flight run; at most a couple of distinct runs can
-	// have started between cache misses and flight registration.
-	if hits+misses != clients {
-		t.Fatalf("hits %d + misses %d != %d clients", hits, misses, clients)
+	// Every client either hit the cache (arrived after the run
+	// finished), led a fresh run (a miss), or joined one in flight
+	// (shared) — the three statuses partition the traffic, so misses
+	// count engine runs exactly. At most a couple of distinct runs can
+	// have started between cache lookups and flight registration.
+	if hits+misses+shared != clients {
+		t.Fatalf("hits %d + misses %d + shared %d != %d clients", hits, misses, shared, clients)
 	}
-	if distinctRuns := misses - shared; distinctRuns > 3 {
-		t.Fatalf("%d distinct engine runs for identical requests (shared %d); singleflight not deduplicating", distinctRuns, shared)
+	if misses > 3 {
+		t.Fatalf("%d distinct engine runs for identical requests (shared %d); singleflight not deduplicating", misses, shared)
 	}
 	if err := svc.Drain(testCtx(t, 5*time.Second)); err != nil {
 		t.Fatal(err)
@@ -245,6 +248,33 @@ func TestLoadMixedTraffic(t *testing.T) {
 				before, runtime.NumGoroutine(), buf[:n])
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSweepInvalidPointDoesNotPoisonFlights is the regression test for
+// a singleflight leak: a sweep that failed validation partway used to
+// leave flights it had already led registered but never spawned, so
+// every later request for those configs joined a dead flight and hung
+// until the request timeout. The whole batch must be validated before
+// any flight is led.
+func TestSweepInvalidPointDoesNotPoisonFlights(t *testing.T) {
+	svc := New(Options{})
+	_, _, _, err := svc.Sweep(context.Background(), SweepRequest{Points: []SimulateRequest{
+		fastPoint(3), // valid: would have led a flight under the old code
+		{K: 1},       // invalid: fails validation after the point above
+	}})
+	var reqErr *requestError
+	if !errors.As(err, &reqErr) {
+		t.Fatalf("sweep error = %v, want a bad-request error", err)
+	}
+	// The valid point must still be freshly servable, not stuck behind
+	// a flight nobody runs.
+	ctx := testCtx(t, 5*time.Second)
+	if _, status, err := svc.Simulate(ctx, fastPoint(3)); err != nil || status != CacheMiss {
+		t.Fatalf("simulate after failed sweep: status %q, err %v; want a fresh miss", status, err)
+	}
+	if err := svc.Drain(testCtx(t, 5*time.Second)); err != nil {
+		t.Fatal(err)
 	}
 }
 
