@@ -15,11 +15,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/faults"
 	"repro/internal/layout"
 	"repro/internal/sim"
 	"repro/internal/table"
@@ -45,6 +47,13 @@ func main() {
 		ganttMs   = flag.Float64("gantt-ms", 0, "render a disk-busy Gantt chart for the first N ms of trial 1")
 		jsonOut   = flag.Bool("json", false, "emit results as JSON instead of text")
 		reqLog    = flag.String("reqlog", "", "write a JSONL log of every disk request (trial 1) to this file")
+
+		faultDisk     = flag.Int("fault-disk", -1, "disk index to inject faults into (-1 = none)")
+		faultSlowdown = flag.Float64("fault-slowdown", 0, "fail-slow service-time multiplier for the faulted disk (>= 1)")
+		faultSlowAt   = flag.Float64("fault-slowdown-at-ms", 0, "simulated instant the slowdown phases in, in ms (0 = from the start)")
+		faultErrProb  = flag.Float64("fault-error-prob", 0, "per-request transient read-error probability on the faulted disk")
+		faultRetries  = flag.Int("fault-retries", 0, "re-read cap per request (0 = default 3); exhausting it aborts with an unreadable-disk error")
+		faultOutage   = flag.String("fault-outage", "", "outage windows for the faulted disk, \"start:end[,start:end]\" in ms")
 	)
 	flag.Parse()
 
@@ -87,6 +96,23 @@ func main() {
 		cfg.Placement = layout.Striped
 	default:
 		fatal(fmt.Errorf("unknown placement %q", *placement))
+	}
+
+	if *faultDisk >= 0 {
+		spec := faults.DiskSpec{
+			Disk:          *faultDisk,
+			Slowdown:      *faultSlowdown,
+			SlowdownAtMs:  *faultSlowAt,
+			ReadErrorProb: *faultErrProb,
+			MaxRetries:    *faultRetries,
+		}
+		var err error
+		if spec.Outages, err = parseOutages(*faultOutage); err != nil {
+			fatal(err)
+		}
+		cfg.Faults = &faults.Spec{Disks: []faults.DiskSpec{spec}}
+	} else if *faultSlowdown != 0 || *faultErrProb != 0 || *faultOutage != "" {
+		fatal(fmt.Errorf("fault flags need -fault-disk to name the target disk"))
 	}
 
 	cfg.RecordTimeline = *ganttMs > 0
@@ -143,6 +169,10 @@ func main() {
 	fmt.Printf("success ratio  %.4f\n", agg.SuccessRatio.Mean())
 	fmt.Printf("disk overlap   %.3f busy disks (given any busy)\n", agg.Concurrency.Mean())
 	fmt.Printf("cpu stall      %.3f s\n", agg.StallTime.Mean())
+	if f := agg.Results[0].Faults; f.Any() {
+		fmt.Printf("faults         %d retries (%.3f s), outage wait %.3f s, slowdown %.3f s (trial 1)\n",
+			f.Retries, f.RetryTime.Seconds(), f.OutageTime.Seconds(), f.SlowdownTime.Seconds())
+	}
 
 	printPredictions(cfg)
 
@@ -210,6 +240,23 @@ func printPredictions(cfg core.Config) {
 	default:
 		fmt.Printf("analytic       lower bound kTB/D = %.3f s\n", m.MultiDiskFloor(b).Seconds())
 	}
+}
+
+// parseOutages parses "start:end[,start:end]" (milliseconds) into
+// outage windows; validation of ordering happens in cfg.Validate.
+func parseOutages(s string) ([]faults.Window, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []faults.Window
+	for _, part := range strings.Split(s, ",") {
+		var w faults.Window
+		if _, err := fmt.Sscanf(part, "%f:%f", &w.StartMs, &w.EndMs); err != nil {
+			return nil, fmt.Errorf("outage %q: want start:end in ms", part)
+		}
+		out = append(out, w)
+	}
+	return out, nil
 }
 
 func cacheStr(c int) string {

@@ -44,7 +44,7 @@ func main() {
 		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "result cache capacity in bytes (bodies only; -1 = unbounded)")
 		maxConc      = flag.Int("max-concurrent", 0, "max concurrent engine runs (0 = GOMAXPROCS)")
 		maxQueue     = flag.Int("queue", 0, "max runs queued for a slot before shedding with 429 (0 = 4x max-concurrent)")
-		timeout      = flag.Duration("timeout", 30*time.Second, "per-request budget: queue wait + engine run")
+		timeout      = flag.Duration("request-timeout", 60*time.Second, "per-request budget: queue wait + engine run")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight work")
 		maxTrials    = flag.Int("max-trials", 64, "max trials per request")
 		maxPoints    = flag.Int("max-points", 512, "max points per sweep")

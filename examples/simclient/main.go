@@ -10,7 +10,6 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -85,8 +84,9 @@ func main() {
 }
 
 // get fetches a URL and returns the body, failing the run on errors.
+// Shed (429) and unavailable (503) responses are retried with backoff.
 func get(client *http.Client, url string) string {
-	resp, err := client.Get(url)
+	resp, err := newRetrier().do(client, "GET", url, "", nil)
 	if err != nil {
 		fail("GET %s: %v", url, err)
 	}
@@ -99,9 +99,10 @@ func get(client *http.Client, url string) string {
 }
 
 // post sends a JSON body, decodes the response into out, and returns
-// the X-Cache header.
+// the X-Cache header. Shed (429) and unavailable (503) responses are
+// retried with backoff, honoring the daemon's Retry-After.
 func post(client *http.Client, url, body string, out any) string {
-	resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	resp, err := newRetrier().do(client, "POST", url, "application/json", []byte(body))
 	if err != nil {
 		fail("POST %s: %v", url, err)
 	}

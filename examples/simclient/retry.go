@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// retrier retries transient daemon responses — 429 (shed by admission
+// control) and 503 (timed out or draining) — with capped exponential
+// backoff and jitter, so a burst of shed clients does not come back as
+// the same synchronized burst. A Retry-After header, which simd sets on
+// 429, overrides the computed backoff exactly: the server knows its
+// queue better than the client's guess.
+type retrier struct {
+	attempts int           // total tries, including the first
+	base     time.Duration // backoff before the first retry
+	cap      time.Duration // backoff ceiling
+
+	// sleep and jitter are injection points for tests; nil means
+	// time.Sleep and math/rand.
+	sleep  func(time.Duration)
+	jitter func() float64 // uniform in [0, 1)
+}
+
+func newRetrier() *retrier {
+	return &retrier{
+		attempts: 5,
+		base:     200 * time.Millisecond,
+		cap:      5 * time.Second,
+		sleep:    time.Sleep,
+		jitter:   rand.Float64,
+	}
+}
+
+// do POSTs (or GETs, with a nil body) until the response is not
+// retryable or the attempt budget is spent. The final response is
+// returned whatever its status; the caller still checks it.
+func (r *retrier) do(client *http.Client, method, url, contentType string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < r.attempts; attempt++ {
+		if attempt > 0 {
+			r.sleep(r.delay(attempt, lastRetryAfter(lastErr)))
+		}
+		req, err := http.NewRequest(method, url, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			// Transport errors (daemon restarting, connection refused)
+			// are as transient as a 503.
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		lastErr = &retryableStatus{code: resp.StatusCode, retryAfter: parseRetryAfter(resp)}
+		resp.Body.Close()
+	}
+	if rs, ok := lastErr.(*retryableStatus); ok {
+		return nil, fmt.Errorf("%s %s: still %d after %d attempts", method, url, rs.code, r.attempts)
+	}
+	return nil, fmt.Errorf("%s %s: %v (after %d attempts)", method, url, lastErr, r.attempts)
+}
+
+// delay computes the pause before the attempt-th try (attempt >= 1).
+// With a server-provided Retry-After it is that duration exactly; the
+// computed fallback is base·2^(attempt-1) capped, jittered into
+// [d/2, d) so independent clients spread out.
+func (r *retrier) delay(attempt int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	d := r.base << (attempt - 1)
+	if d > r.cap || d <= 0 { // <= 0 guards shift overflow
+		d = r.cap
+	}
+	return d/2 + time.Duration(r.jitter()*float64(d/2))
+}
+
+// retryableStatus carries a shed/unavailable response between attempts.
+type retryableStatus struct {
+	code       int
+	retryAfter time.Duration
+}
+
+func (e *retryableStatus) Error() string { return fmt.Sprintf("status %d", e.code) }
+
+// parseRetryAfter reads a Retry-After header in its delta-seconds form
+// (the form simd sends); absent or unparseable means 0.
+func parseRetryAfter(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(s)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// lastRetryAfter extracts the server-requested pause from the previous
+// attempt's failure, if there was one.
+func lastRetryAfter(err error) time.Duration {
+	if rs, ok := err.(*retryableStatus); ok {
+		return rs.retryAfter
+	}
+	return 0
+}

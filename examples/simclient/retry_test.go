@@ -1,0 +1,132 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubSequence serves the given status codes in order, then 200s, and
+// counts requests. A Retry-After value is attached to every non-200.
+func stubSequence(codes []int, retryAfter string) (*httptest.Server, *atomic.Int32) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(calls.Add(1)) - 1
+		if n < len(codes) && codes[n] != http.StatusOK {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(codes[n])
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	return ts, &calls
+}
+
+// testRetrier returns a retrier with instant, recorded sleeps and a
+// deterministic mid-range jitter draw.
+func testRetrier(slept *[]time.Duration) *retrier {
+	r := newRetrier()
+	r.sleep = func(d time.Duration) { *slept = append(*slept, d) }
+	r.jitter = func() float64 { return 0.5 }
+	return r
+}
+
+func TestRetrySucceedsAfter429s(t *testing.T) {
+	ts, calls := stubSequence([]int{429, 429, 200}, "")
+	defer ts.Close()
+
+	var slept []time.Duration
+	r := testRetrier(&slept)
+	resp, err := r.do(ts.Client(), "POST", ts.URL, "application/json", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != `{"ok":true}` {
+		t.Fatalf("body %s", body)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3 (429, 429, 200)", calls.Load())
+	}
+	// Backoff grows exponentially and every jittered delay stays within
+	// [d/2, d) of its nominal value d = base·2^(attempt-1).
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(slept))
+	}
+	for i, d := range slept {
+		nominal := r.base << i
+		if d < nominal/2 || d >= nominal {
+			t.Fatalf("retry %d slept %v, want in [%v, %v)", i+1, d, nominal/2, nominal)
+		}
+	}
+	if slept[1] <= slept[0] {
+		t.Fatalf("backoff not growing: %v then %v", slept[0], slept[1])
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	ts, _ := stubSequence([]int{429, 200}, "2")
+	defer ts.Close()
+
+	var slept []time.Duration
+	resp, err := testRetrier(&slept).do(ts.Client(), "POST", ts.URL, "application/json", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	// Retry-After overrides the computed backoff exactly — no jitter.
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("slept %v, want exactly [2s]", slept)
+	}
+}
+
+func TestRetryGivesUpAfterBudget(t *testing.T) {
+	ts, calls := stubSequence([]int{503, 503, 503, 503, 503, 503, 503}, "")
+	defer ts.Close()
+
+	var slept []time.Duration
+	r := testRetrier(&slept)
+	if _, err := r.do(ts.Client(), "GET", ts.URL, "", nil); err == nil {
+		t.Fatal("exhausted retrier returned no error")
+	}
+	if int(calls.Load()) != r.attempts {
+		t.Fatalf("server saw %d requests, want %d", calls.Load(), r.attempts)
+	}
+}
+
+func TestRetryDelayCapped(t *testing.T) {
+	var slept []time.Duration
+	r := testRetrier(&slept)
+	for attempt := 1; attempt <= 40; attempt++ {
+		if d := r.delay(attempt, 0); d >= r.cap {
+			t.Fatalf("attempt %d delay %v at or above cap %v", attempt, d, r.cap)
+		}
+	}
+}
+
+func TestNonRetryableStatusReturnsImmediately(t *testing.T) {
+	ts, calls := stubSequence([]int{400}, "")
+	defer ts.Close()
+
+	var slept []time.Duration
+	resp, err := testRetrier(&slept).do(ts.Client(), "POST", ts.URL, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want the 400 passed through", resp.StatusCode)
+	}
+	if calls.Load() != 1 || len(slept) != 0 {
+		t.Fatalf("400 was retried: %d calls, %d sleeps", calls.Load(), len(slept))
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/disk"
+	"repro/internal/faults"
 	"repro/internal/layout"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -116,6 +117,14 @@ type Config struct {
 	Placement layout.Placement
 	Admission cache.AdmissionPolicy
 	RunPolicy PrefetchRunPolicy
+
+	// Faults, when non-nil, injects per-disk failure modes (fail-slow
+	// multipliers, transient read errors with retry-by-reread, outage
+	// windows) into the input disks. nil is the paper's always-healthy
+	// model and costs nothing — the engine takes the exact same code
+	// paths as before the fault layer existed. A run whose re-read
+	// budget is exhausted fails with faults.ErrUnreadable.
+	Faults *faults.Spec
 
 	// Write models the merge's output traffic (disabled by default,
 	// matching the paper's separate-write-disks assumption).
@@ -258,6 +267,11 @@ func (c Config) Validate() error {
 	}
 	if err := c.Disk.Validate(); err != nil {
 		return err
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.D); err != nil {
+			return err
+		}
 	}
 	lay, err := layout.NewLengths(c.Placement, c.runLengths(), c.D)
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/disk"
+	"repro/internal/faults"
 	"repro/internal/layout"
 	"repro/internal/rng"
 	"repro/internal/sim"
@@ -78,7 +79,7 @@ func Run(cfg Config) (Result, error) {
 	e.k.Spawn("cpu", e.cpu)
 	if cfg.MaxSimTime > 0 {
 		if err := e.k.RunUntil(cfg.MaxSimTime); err != nil {
-			return Result{}, fmt.Errorf("core: simulation failed: %w", err)
+			return Result{}, e.runError(err)
 		}
 		if e.finish == 0 { // CPU never completed: horizon reached
 			e.finish = e.k.Now()
@@ -89,9 +90,22 @@ func Run(cfg Config) (Result, error) {
 		return e.result(), nil
 	}
 	if err := e.k.Run(); err != nil {
-		return Result{}, fmt.Errorf("core: simulation failed: %w", err)
+		return Result{}, e.runError(err)
 	}
 	return e.result(), nil
+}
+
+// runError translates a kernel failure: a stop triggered by an
+// unreadable disk surfaces its typed fault (matchable with
+// errors.Is(err, faults.ErrUnreadable)); anything else is a simulation
+// failure.
+func (e *engine) runError(err error) error {
+	for _, d := range e.disks {
+		if ferr := d.FaultError(); ferr != nil {
+			return fmt.Errorf("core: %w", ferr)
+		}
+	}
+	return fmt.Errorf("core: simulation failed: %w", err)
 }
 
 // RunTrials simulates trials independent replications (seeds Seed,
@@ -153,6 +167,10 @@ func newEngine(cfg Config) (*engine, error) {
 		e.activePos[r] = r
 		e.runArrival[r] = k.NewSignal()
 	}
+	var inj *faults.Injector
+	if cfg.Faults != nil {
+		inj = faults.NewInjector(*cfg.Faults, cfg.D, root.Split("faults"))
+	}
 	for d := 0; d < cfg.D; d++ {
 		dk, err := disk.New(k, d, cfg.Disk, root.SplitIndexed("disk", d))
 		if err != nil {
@@ -162,6 +180,7 @@ func newEngine(cfg Config) (*engine, error) {
 		if cfg.OnRequest != nil {
 			dk.SetRequestObserver(cfg.OnRequest)
 		}
+		dk.SetFaultInjector(inj.Disk(d))
 		e.disks = append(e.disks, dk)
 	}
 	e.writeRot = root.Split("write")
@@ -509,6 +528,7 @@ func (e *engine) result() Result {
 	}
 	for _, d := range e.disks {
 		res.PerDisk = append(res.PerDisk, d.Stats())
+		res.Faults.add(d.Stats())
 	}
 	if e.writer != nil {
 		res.WrittenBlocks = e.writer.written

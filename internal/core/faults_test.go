@@ -1,0 +1,254 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// faulted returns the paper's base shape at reduced run length with one
+// fail-slow disk, the grid the degraded-disk experiment sweeps.
+func faulted(slowdown float64) Config {
+	cfg := Default()
+	cfg.K = 25
+	cfg.D = 5
+	cfg.N = 10
+	cfg.BlocksPerRun = 100
+	cfg.InterRun = true
+	cfg.CacheBlocks = cfg.DefaultCache()
+	if slowdown != 0 {
+		cfg.Faults = &faults.Spec{Disks: []faults.DiskSpec{{Disk: 2, Slowdown: slowdown}}}
+	}
+	return cfg
+}
+
+// TestFailSlowMonotoneSlowdown pins the tentpole acceptance curve: a
+// single degraded disk must slow the merge monotonically in its
+// slowdown factor, and the engine must attribute the lost time.
+func TestFailSlowMonotoneSlowdown(t *testing.T) {
+	var prev Result
+	for i, factor := range []float64{0, 2, 4, 8} {
+		res := mustRun(t, faulted(factor))
+		if i > 0 && res.TotalTime <= prev.TotalTime {
+			t.Fatalf("slowdown %v total %v not above previous %v", factor, res.TotalTime, prev.TotalTime)
+		}
+		if factor == 0 {
+			if res.Faults.Any() {
+				t.Fatalf("healthy run has fault counters: %+v", res.Faults)
+			}
+		} else {
+			if res.Faults.SlowdownTime <= 0 {
+				t.Fatalf("slowdown %v attributed no slowdown time", factor)
+			}
+			if res.Faults.Retries != 0 || res.Faults.RetryTime != 0 || res.Faults.OutageTime != 0 {
+				t.Fatalf("fail-slow run shows non-slowdown faults: %+v", res.Faults)
+			}
+			for d, s := range res.PerDisk {
+				if (s.SlowdownTime > 0) != (d == 2) {
+					t.Fatalf("disk %d slowdown time %v (only disk 2 is degraded)", d, s.SlowdownTime)
+				}
+			}
+		}
+		prev = res
+	}
+}
+
+func TestSlowdownPhaseIn(t *testing.T) {
+	full := mustRun(t, faulted(4))
+	cfg := faulted(4)
+	// Phase the slowdown in halfway through the healthy run's merge: less
+	// of the run is degraded, so it must finish faster than degraded-from-
+	// the-start but slower than healthy.
+	healthy := mustRun(t, faulted(0))
+	cfg.Faults.Disks[0].SlowdownAtMs = float64(healthy.TotalTime) / 2
+	late := mustRun(t, cfg)
+	if late.TotalTime >= full.TotalTime {
+		t.Fatalf("late onset %v not faster than degraded-from-start %v", late.TotalTime, full.TotalTime)
+	}
+	if late.TotalTime <= healthy.TotalTime {
+		t.Fatalf("late onset %v not slower than healthy %v", late.TotalTime, healthy.TotalTime)
+	}
+	if late.Faults.SlowdownTime <= 0 || late.Faults.SlowdownTime >= full.Faults.SlowdownTime {
+		t.Fatalf("late onset attributed %v, want in (0, %v)", late.Faults.SlowdownTime, full.Faults.SlowdownTime)
+	}
+}
+
+func TestTransientErrorsRetryAndRecover(t *testing.T) {
+	cfg := faulted(0)
+	cfg.Faults = &faults.Spec{Disks: []faults.DiskSpec{{Disk: 1, ReadErrorProb: 0.2}}}
+	res := mustRun(t, cfg)
+	if res.Faults.Retries == 0 || res.Faults.RetryTime <= 0 {
+		t.Fatalf("p=0.2 produced no retries: %+v", res.Faults)
+	}
+	if res.MergedBlocks != cfg.TotalBlocks() {
+		t.Fatalf("merged %d of %d blocks despite recovery", res.MergedBlocks, cfg.TotalBlocks())
+	}
+	for d, s := range res.PerDisk {
+		if (s.Retries > 0) != (d == 1) {
+			t.Fatalf("disk %d retries %d (only disk 1 is flaky)", d, s.Retries)
+		}
+	}
+	healthy := mustRun(t, faulted(0))
+	if res.TotalTime <= healthy.TotalTime {
+		t.Fatalf("flaky run %v not slower than healthy %v", res.TotalTime, healthy.TotalTime)
+	}
+}
+
+func TestOutageDelaysButCompletes(t *testing.T) {
+	healthy := mustRun(t, faulted(0))
+	cfg := faulted(0)
+	// Take disk 0 down for the middle third of the healthy merge.
+	start := float64(healthy.TotalTime) / 3
+	cfg.Faults = &faults.Spec{Disks: []faults.DiskSpec{{
+		Disk:    0,
+		Outages: []faults.Window{{StartMs: start, EndMs: 2 * start}},
+	}}}
+	res := mustRun(t, cfg)
+	if res.MergedBlocks != cfg.TotalBlocks() {
+		t.Fatalf("merged %d of %d blocks after recovery", res.MergedBlocks, cfg.TotalBlocks())
+	}
+	if res.Faults.OutageTime <= 0 {
+		t.Fatalf("outage attributed no wait time: %+v", res.Faults)
+	}
+	if res.TotalTime <= healthy.TotalTime {
+		t.Fatalf("outage run %v not slower than healthy %v", res.TotalTime, healthy.TotalTime)
+	}
+}
+
+func TestUnreadableDiskAbortsTyped(t *testing.T) {
+	cfg := faulted(0)
+	cfg.Faults = &faults.Spec{Disks: []faults.DiskSpec{{Disk: 3, ReadErrorProb: 1, MaxRetries: 2}}}
+	_, err := Run(cfg)
+	if err == nil {
+		t.Fatal("certain read errors did not abort the merge")
+	}
+	if !errors.Is(err, faults.ErrUnreadable) {
+		t.Fatalf("error %v does not match faults.ErrUnreadable", err)
+	}
+	var ue *faults.UnreadableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error %v carries no *UnreadableError", err)
+	}
+	if ue.Disk != 3 || ue.Attempts != 3 {
+		t.Fatalf("unreadable disk %d after %d attempts, want disk 3 after 3", ue.Disk, ue.Attempts)
+	}
+}
+
+// TestFaultDeterminismAcrossWorkers is the ISSUE's determinism
+// regression: identical seed and fault spec must yield byte-identical
+// ResultJSON regardless of grid parallelism.
+func TestFaultDeterminismAcrossWorkers(t *testing.T) {
+	cfg := faulted(2)
+	cfg.Faults.Disks[0].ReadErrorProb = 0.1
+	cfg.Faults.Disks[0].Outages = []faults.Window{{StartMs: 500, EndMs: 1500}}
+
+	marshal := func(workers int) []byte {
+		aggs, err := RunGrid([]Config{cfg}, 3, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.Marshal(NewResultJSON(aggs[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf
+	}
+	serial := marshal(1)
+	if string(serial) != string(marshal(1)) {
+		t.Fatal("serial fault runs are not reproducible")
+	}
+	if string(serial) != string(marshal(8)) {
+		t.Fatal("fault ResultJSON differs between workers=1 and workers=8")
+	}
+}
+
+// TestZeroFaultByteIdentity pins the pay-for-what-you-use guarantee:
+// attaching a nil or empty fault spec changes neither the simulated
+// result bytes nor (for nil) the cache key.
+func TestZeroFaultByteIdentity(t *testing.T) {
+	base := faulted(0)
+	baseJSON := func(c Config) string {
+		agg, err := RunTrials(c, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := json.Marshal(NewResultJSON(agg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(buf)
+	}
+	want := baseJSON(base)
+	withEmpty := base
+	withEmpty.Faults = &faults.Spec{}
+	if got := baseJSON(withEmpty); got != want {
+		t.Fatal("empty fault spec perturbed the result bytes")
+	}
+
+	baseHash, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	emptyHash, err := withEmpty.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emptyHash != baseHash {
+		t.Fatal("empty fault spec changed the cache key")
+	}
+	faultyCfg := faulted(2)
+	faultyHash, err := faultyCfg.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faultyHash == baseHash {
+		t.Fatal("fail-slow spec did not change the cache key")
+	}
+}
+
+// TestFaultCountersInResultJSON pins the wire schema: fault counters
+// appear on faulted runs and are absent (omitempty) on healthy ones.
+func TestFaultCountersInResultJSON(t *testing.T) {
+	agg, err := RunTrials(faulted(2), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := json.Marshal(NewResultJSON(agg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Results []struct {
+			SlowdownSeconds float64 `json:"fault_slowdown_seconds"`
+			Disks           []struct {
+				SlowdownSeconds float64 `json:"fault_slowdown_seconds"`
+			} `json:"disks"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(buf, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Results[0].SlowdownSeconds <= 0 {
+		t.Fatalf("trial-level fault_slowdown_seconds missing from %s", buf)
+	}
+	if decoded.Results[0].Disks[2].SlowdownSeconds <= 0 {
+		t.Fatalf("disk-level fault_slowdown_seconds missing from %s", buf)
+	}
+
+	healthy, err := RunTrials(faulted(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err = json.Marshal(NewResultJSON(healthy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"fault_retries", "fault_retry_seconds", "fault_outage_seconds", "fault_slowdown_seconds"} {
+		if strings.Contains(string(buf), `"`+key+`"`) {
+			t.Fatalf("healthy run emits %q: %s", key, buf)
+		}
+	}
+}

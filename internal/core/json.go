@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
+	"repro/internal/faults"
 )
 
 // This file is the serving boundary of the core package: the one
@@ -14,13 +15,20 @@ import (
 // daemon, and the canonical configuration encoding whose hash keys the
 // daemon's result cache.
 
-// DiskJSON is one disk's statistics in the shared result schema.
+// DiskJSON is one disk's statistics in the shared result schema. The
+// fault counters carry omitempty so a zero-fault run emits exactly the
+// pre-fault-layer bytes.
 type DiskJSON struct {
 	Requests    int64   `json:"requests"`
 	Blocks      int64   `json:"blocks"`
 	BusySeconds float64 `json:"busy_seconds"`
 	MeanSeekCyl float64 `json:"mean_seek_cylinders"`
 	MaxQueueLen int     `json:"max_queue_len"`
+
+	FaultRetries    int64   `json:"fault_retries,omitempty"`
+	RetrySeconds    float64 `json:"fault_retry_seconds,omitempty"`
+	OutageSeconds   float64 `json:"fault_outage_seconds,omitempty"`
+	SlowdownSeconds float64 `json:"fault_slowdown_seconds,omitempty"`
 }
 
 // TrialJSON is one replication's metrics in the shared result schema.
@@ -36,6 +44,12 @@ type TrialJSON struct {
 	MergedBlocks  int64      `json:"merged_blocks"`
 	WrittenBlocks int64      `json:"written_blocks,omitempty"`
 	Disks         []DiskJSON `json:"disks"`
+
+	// Fault totals across disks; all omitted on a zero-fault run.
+	FaultRetries    int64   `json:"fault_retries,omitempty"`
+	RetrySeconds    float64 `json:"fault_retry_seconds,omitempty"`
+	OutageSeconds   float64 `json:"fault_outage_seconds,omitempty"`
+	SlowdownSeconds float64 `json:"fault_slowdown_seconds,omitempty"`
 }
 
 // ResultJSON is the machine-readable summary of an Aggregate: the one
@@ -83,13 +97,21 @@ func NewResultJSON(agg Aggregate) ResultJSON {
 			MergedBlocks:  r.MergedBlocks,
 			WrittenBlocks: r.WrittenBlocks,
 		}
+		tj.FaultRetries = r.Faults.Retries
+		tj.RetrySeconds = r.Faults.RetryTime.Seconds()
+		tj.OutageSeconds = r.Faults.OutageTime.Seconds()
+		tj.SlowdownSeconds = r.Faults.SlowdownTime.Seconds()
 		for _, d := range r.PerDisk {
 			tj.Disks = append(tj.Disks, DiskJSON{
-				Requests:    d.Requests,
-				Blocks:      d.Blocks,
-				BusySeconds: d.BusyTime.Seconds(),
-				MeanSeekCyl: d.MeanSeekDistance(),
-				MaxQueueLen: d.MaxQueueLen,
+				Requests:        d.Requests,
+				Blocks:          d.Blocks,
+				BusySeconds:     d.BusyTime.Seconds(),
+				MeanSeekCyl:     d.MeanSeekDistance(),
+				MaxQueueLen:     d.MaxQueueLen,
+				FaultRetries:    d.Retries,
+				RetrySeconds:    d.RetryTime.Seconds(),
+				OutageSeconds:   d.OutageTime.Seconds(),
+				SlowdownSeconds: d.SlowdownTime.Seconds(),
 			})
 		}
 		out.Results = append(out.Results, tj)
@@ -140,6 +162,20 @@ type canonicalConfig struct {
 
 	Seed           uint64 `json:"seed"`
 	RecordTimeline bool   `json:"record_timeline"`
+
+	// Appended after the fields above (see the ordering rule); omitted
+	// when nil so every pre-fault-layer cache key is unchanged.
+	Faults []canonicalFault `json:"faults,omitempty"`
+}
+
+// canonicalFault mirrors faults.DiskSpec with fixed field order.
+type canonicalFault struct {
+	Disk          int             `json:"disk"`
+	Slowdown      float64         `json:"slowdown,omitempty"`
+	SlowdownAtMs  float64         `json:"slowdown_at_ms,omitempty"`
+	ReadErrorProb float64         `json:"read_error_prob,omitempty"`
+	MaxRetries    int             `json:"max_retries,omitempty"`
+	Outages       []faults.Window `json:"outages,omitempty"`
 }
 
 // CanonicalJSON returns a deterministic JSON encoding of the
@@ -199,6 +235,20 @@ func (c Config) CanonicalJSON() ([]byte, error) {
 
 		Seed:           c.Seed,
 		RecordTimeline: c.RecordTimeline,
+	}
+	if c.Faults != nil {
+		// A non-nil spec with no entries appends nothing, so it encodes
+		// identically to nil: equal behavior means equal hash.
+		for _, ds := range c.Faults.Disks {
+			cc.Faults = append(cc.Faults, canonicalFault{
+				Disk:          ds.Disk,
+				Slowdown:      ds.Slowdown,
+				SlowdownAtMs:  ds.SlowdownAtMs,
+				ReadErrorProb: ds.ReadErrorProb,
+				MaxRetries:    ds.MaxRetries,
+				Outages:       ds.Outages,
+			})
+		}
 	}
 	return json.Marshal(cc)
 }

@@ -65,6 +65,35 @@ type Result struct {
 	// TimedOut reports that Config.MaxSimTime elapsed before the merge
 	// finished; counters reflect the partial run up to the horizon.
 	TimedOut bool
+
+	// Faults totals the per-disk fault counters (all zero unless
+	// Config.Faults is set); the per-disk breakdown lives in PerDisk.
+	Faults FaultTotals
+}
+
+// FaultTotals aggregates the fault-injection counters across disks.
+type FaultTotals struct {
+	// Retries counts transient read errors recovered by re-reads.
+	Retries int64
+	// RetryTime is the service time those re-reads added.
+	RetryTime sim.Time
+	// OutageTime is dispatch time lost waiting out outage windows.
+	OutageTime sim.Time
+	// SlowdownTime is service time added by fail-slow multipliers.
+	SlowdownTime sim.Time
+}
+
+// Any reports whether any fault counter is non-zero.
+func (f FaultTotals) Any() bool {
+	return f.Retries != 0 || f.RetryTime != 0 || f.OutageTime != 0 || f.SlowdownTime != 0
+}
+
+// add folds one disk's fault counters into the totals.
+func (f *FaultTotals) add(s disk.Stats) {
+	f.Retries += s.Retries
+	f.RetryTime += s.RetryTime
+	f.OutageTime += s.OutageTime
+	f.SlowdownTime += s.SlowdownTime
 }
 
 // StallP95 returns the 95th-percentile per-miss stall.

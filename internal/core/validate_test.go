@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
@@ -37,6 +38,36 @@ func TestValidateRejectsInvalidConfigs(t *testing.T) {
 			c.Write.BatchBlocks = 8
 			c.Write.BufferBlocks = 4
 		}, "write buffer 4 smaller than batch 8"},
+		{"fault on nonexistent disk", func(c *Config) {
+			c.Faults = &faults.Spec{Disks: []faults.DiskSpec{{Disk: 5, Slowdown: 2}}}
+		}, "faults: spec 0 targets disk 5, want [0, D=5)"},
+		{"fault negative disk", func(c *Config) {
+			c.Faults = &faults.Spec{Disks: []faults.DiskSpec{{Disk: -1}}}
+		}, "targets disk -1"},
+		{"fault slowdown below one", func(c *Config) {
+			c.Faults = &faults.Spec{Disks: []faults.DiskSpec{{Disk: 0, Slowdown: 0.5}}}
+		}, "slowdown 0.5 < 1 (a fail-slow disk cannot be faster)"},
+		{"fault negative error probability", func(c *Config) {
+			c.Faults = &faults.Spec{Disks: []faults.DiskSpec{{Disk: 0, ReadErrorProb: -0.1}}}
+		}, "read error probability -0.1 not in [0, 1]"},
+		{"fault probability above one", func(c *Config) {
+			c.Faults = &faults.Spec{Disks: []faults.DiskSpec{{Disk: 0, ReadErrorProb: 1.5}}}
+		}, "read error probability 1.5 not in [0, 1]"},
+		{"fault overlapping outages", func(c *Config) {
+			c.Faults = &faults.Spec{Disks: []faults.DiskSpec{{
+				Disk:    1,
+				Outages: []faults.Window{{StartMs: 0, EndMs: 100}, {StartMs: 50, EndMs: 200}},
+			}}}
+		}, "outage windows overlap at 50 ms"},
+		{"fault inverted outage", func(c *Config) {
+			c.Faults = &faults.Spec{Disks: []faults.DiskSpec{{
+				Disk:    0,
+				Outages: []faults.Window{{StartMs: 100, EndMs: 100}},
+			}}}
+		}, "outage 0 ends at 100 ms, not after its start 100 ms"},
+		{"fault duplicate disk entries", func(c *Config) {
+			c.Faults = &faults.Spec{Disks: []faults.DiskSpec{{Disk: 2, Slowdown: 2}, {Disk: 2, Slowdown: 3}}}
+		}, "disk 2 out of order"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faults"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -62,6 +63,13 @@ type Stats struct {
 	QueueWait    sim.Time // total time requests spent queued
 	MaxQueueLen  int
 	SeekDistance int64 // total cylinders travelled
+
+	// Fault counters, all zero unless a fault injector is installed
+	// (see SetFaultInjector).
+	Retries      int64    // transient read errors recovered by re-reads
+	RetryTime    sim.Time // service time added by those re-reads
+	OutageTime   sim.Time // dispatch time lost waiting out outage windows
+	SlowdownTime sim.Time // service time added by the fail-slow multiplier
 }
 
 // MeanServiceTime returns average (seek + latency + transfer) per request.
@@ -111,6 +119,12 @@ type Disk struct {
 
 	// onRequest, if set, observes every request at dispatch.
 	onRequest func(RequestTrace)
+
+	// inj, if set, injects faults at dispatch time; parked records a
+	// pending outage wake-up so concurrent submits don't double-book it.
+	inj      *faults.DiskInjector
+	parked   bool
+	faultErr error
 }
 
 // New creates a disk on kernel k. The rotation stream must be dedicated
@@ -157,6 +171,19 @@ func (d *Disk) SetBusyObserver(fn func(at sim.Time, busy bool)) { d.onBusy = fn 
 // SetRequestObserver installs fn to be called at every request dispatch
 // with its timing decomposition.
 func (d *Disk) SetRequestObserver(fn func(RequestTrace)) { d.onRequest = fn }
+
+// SetFaultInjector installs the disk's fault model (nil = healthy). The
+// injector is consulted at every dispatch: outage windows park the
+// queue until recovery, the fail-slow multiplier inflates service time,
+// and transient read errors re-read the request (a fresh rotational
+// latency plus the full transfer) up to the injector's retry cap —
+// beyond it the disk becomes unreadable, FaultError is set, and the
+// simulation stops.
+func (d *Disk) SetFaultInjector(inj *faults.DiskInjector) { d.inj = inj }
+
+// FaultError returns the fatal fault that stopped the simulation, or
+// nil. Non-nil only after the kernel run returns sim.ErrStopped.
+func (d *Disk) FaultError() error { return d.faultErr }
 
 // CylinderOf maps a block address to its cylinder.
 func (d *Disk) CylinderOf(block int) int { return block / d.blocksPerCyl }
@@ -273,9 +300,27 @@ func (d *Disk) rotationalLatency(startBlock int, at sim.Time) sim.Time {
 // startNext dispatches the head-of-queue request. Called only when idle
 // and the queue is non-empty.
 func (d *Disk) startNext() {
+	if d.parked {
+		return // an outage wake-up is already scheduled
+	}
+	now := d.k.Now()
+	if d.inj != nil {
+		if wait := d.inj.OutageWait(now); wait > 0 {
+			// The disk is down: nothing dispatches until the window ends.
+			// Requests submitted meanwhile just queue behind the park.
+			d.parked = true
+			d.stats.OutageTime += wait
+			d.k.After(wait, func() {
+				d.parked = false
+				if !d.busy && len(d.queue) > 0 {
+					d.startNext()
+				}
+			})
+			return
+		}
+	}
 	req := d.pickNext()
 	d.setBusy(true)
-	now := d.k.Now()
 	d.stats.Requests++
 	d.stats.Blocks += int64(req.Count)
 	d.stats.QueueWait += now - req.enqueuedAt
@@ -288,12 +333,37 @@ func (d *Disk) startNext() {
 	seek := d.params.SeekTime(distance)
 	rot := d.rotationalLatency(req.Start, now+seek)
 	transfer := sim.Time(req.Count) * d.params.TransferPerBlock
+	tpb := d.params.TransferPerBlock
+
+	// Fault injection: fail-slow inflation first, then transient read
+	// errors, each re-read paying a fresh rotational latency plus the
+	// full (inflated) transfer before any block is delivered.
+	var retryTime sim.Time
+	if d.inj != nil {
+		if f := d.inj.Slowdown(now); f > 1 {
+			d.stats.SlowdownTime += (seek + rot + transfer) * sim.Time(f-1)
+			seek *= sim.Time(f)
+			rot *= sim.Time(f)
+			transfer *= sim.Time(f)
+			tpb *= sim.Time(f)
+		}
+		for retries := 0; d.inj.DrawError(); retries++ {
+			if retries == d.inj.MaxRetries() {
+				d.faultErr = &faults.UnreadableError{Disk: d.id, Start: req.Start, Attempts: retries + 1}
+				d.k.Stop()
+				return
+			}
+			d.stats.Retries++
+			retryTime += d.rotationalLatency(req.Start, now+seek+rot+retryTime) + transfer
+		}
+		d.stats.RetryTime += retryTime
+	}
 
 	d.stats.SeekDistance += int64(distance)
 	d.stats.SeekTime += seek
 	d.stats.RotTime += rot
 	d.stats.TransferTime += transfer
-	d.stats.BusyTime += seek + rot + transfer
+	d.stats.BusyTime += seek + rot + retryTime + transfer
 
 	// The head finishes over the last block transferred.
 	d.curCylinder = d.CylinderOf(req.Start + req.Count - 1)
@@ -307,14 +377,14 @@ func (d *Disk) startNext() {
 			Enqueued: req.enqueuedAt,
 			Started:  now,
 			Seek:     seek,
-			Rotation: rot,
+			Rotation: rot + retryTime,
 			Transfer: transfer,
 		})
 	}
 
 	for i := 0; i < req.Count; i++ {
 		i := i
-		at := seek + rot + sim.Time(i+1)*d.params.TransferPerBlock
+		at := seek + rot + retryTime + sim.Time(i+1)*tpb
 		d.k.After(at, func() {
 			if req.OnBlock != nil {
 				req.OnBlock(i, d.k.Now())

@@ -6,7 +6,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"time"
 )
@@ -34,14 +36,30 @@ func (s *Service) Handler() http.Handler {
 	return mux
 }
 
-// instrumented wraps a handler with request accounting: in-flight
-// gauge, per-endpoint/status counter, latency histogram.
+// instrumented wraps a handler with request accounting — in-flight
+// gauge, per-endpoint/status counter, latency histogram — and panic
+// recovery: a panicking handler answers 500 and bumps
+// simd_panics_total instead of killing the daemon (net/http would only
+// kill the one connection, but a panic must still be a counted, alarmed
+// event, not a silently dropped request).
 func (s *Service) instrumented(endpoint string, fn func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.met.requestStarted()
-		code := fn(w, r)
-		s.met.requestFinished(endpoint, code, time.Since(start).Seconds())
+		code := http.StatusInternalServerError
+		defer func() {
+			if v := recover(); v != nil {
+				s.met.addPanic()
+				log.Printf("panic in %s handler: %v\n%s", endpoint, v, debug.Stack())
+				// Best effort: if the handler already started its
+				// response, the status line is gone and this write fails
+				// on the wire, but the accounting below still records
+				// the request as a 500.
+				writeErrorBody(w, http.StatusInternalServerError, "internal error")
+			}
+			s.met.requestFinished(endpoint, code, time.Since(start).Seconds())
+		}()
+		code = fn(w, r)
 	}
 }
 

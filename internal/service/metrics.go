@@ -32,6 +32,7 @@ type metrics struct {
 	dedupShared int64
 	shed        int64
 	timeouts    int64
+	panics      int64
 
 	latCounts []int64 // parallel to latencyBuckets
 	latInf    int64
@@ -81,6 +82,7 @@ func (m *metrics) addCacheMisses(n int64) { m.mu.Lock(); m.cacheMisses += n; m.m
 func (m *metrics) addDedupShared(n int64) { m.mu.Lock(); m.dedupShared += n; m.mu.Unlock() }
 func (m *metrics) addShed()               { m.mu.Lock(); m.shed++; m.mu.Unlock() }
 func (m *metrics) addTimeout()            { m.mu.Lock(); m.timeouts++; m.mu.Unlock() }
+func (m *metrics) addPanic()              { m.mu.Lock(); m.panics++; m.mu.Unlock() }
 
 // snapshot returns (hits, misses, shared) for tests and logs.
 func (m *metrics) snapshot() (hits, misses, shared int64) {
@@ -166,6 +168,9 @@ func (m *metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int, cac
 	fmt.Fprintln(w, "# HELP simd_request_timeouts_total Requests that expired while queued or running.")
 	fmt.Fprintln(w, "# TYPE simd_request_timeouts_total counter")
 	fmt.Fprintf(w, "simd_request_timeouts_total %d\n", m.timeouts)
+	fmt.Fprintln(w, "# HELP simd_panics_total Handler panics recovered into 500 responses.")
+	fmt.Fprintln(w, "# TYPE simd_panics_total counter")
+	fmt.Fprintf(w, "simd_panics_total %d\n", m.panics)
 	fmt.Fprintln(w, "# HELP simd_queue_depth Callers waiting for an engine slot.")
 	fmt.Fprintln(w, "# TYPE simd_queue_depth gauge")
 	fmt.Fprintf(w, "simd_queue_depth %d\n", queueDepth)

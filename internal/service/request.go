@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/disk"
+	"repro/internal/faults"
 	"repro/internal/layout"
 	"repro/internal/sim"
 )
@@ -41,6 +42,21 @@ type SimulateRequest struct {
 	Disk      string `json:"disk,omitempty"`       // paper | modern
 
 	Write *WriteRequest `json:"write,omitempty"`
+
+	// Faults injects per-disk failure modes (see faults.Spec). Entries
+	// must be in ascending disk order, one per disk; invalid specs are a
+	// 400 with the validation text.
+	Faults []FaultRequest `json:"faults,omitempty"`
+}
+
+// FaultRequest is the wire form of one disk's fault spec.
+type FaultRequest struct {
+	Disk          int             `json:"disk"`
+	Slowdown      float64         `json:"slowdown,omitempty"`
+	SlowdownAtMs  float64         `json:"slowdown_at_ms,omitempty"`
+	ReadErrorProb float64         `json:"read_error_prob,omitempty"`
+	MaxRetries    int             `json:"max_retries,omitempty"`
+	Outages       []faults.Window `json:"outages,omitempty"`
 }
 
 // WriteRequest enables output-traffic modelling for a point.
@@ -169,6 +185,21 @@ func (r SimulateRequest) config() (core.Config, error) {
 			BatchBlocks:  w.BatchBlocks,
 			BufferBlocks: w.BufferBlocks,
 		}
+	}
+
+	if len(r.Faults) > 0 {
+		spec := &faults.Spec{Disks: make([]faults.DiskSpec, len(r.Faults))}
+		for i, f := range r.Faults {
+			spec.Disks[i] = faults.DiskSpec{
+				Disk:          f.Disk,
+				Slowdown:      f.Slowdown,
+				SlowdownAtMs:  f.SlowdownAtMs,
+				ReadErrorProb: f.ReadErrorProb,
+				MaxRetries:    f.MaxRetries,
+				Outages:       f.Outages,
+			}
+		}
+		cfg.Faults = spec
 	}
 
 	if err := cfg.Validate(); err != nil {

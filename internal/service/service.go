@@ -59,7 +59,7 @@ type Options struct {
 	// shed with ErrOverloaded (default 4 × MaxConcurrent).
 	MaxQueue int
 	// RequestTimeout bounds one request end to end: queue wait plus
-	// engine run (default 30s).
+	// engine run (default 60s).
 	RequestTimeout time.Duration
 	// MaxTrials bounds per-request replications (default 64).
 	MaxTrials int
@@ -87,7 +87,7 @@ func (o Options) withDefaults() Options {
 		o.MaxQueue = 4 * o.MaxConcurrent
 	}
 	if o.RequestTimeout <= 0 {
-		o.RequestTimeout = 30 * time.Second
+		o.RequestTimeout = 60 * time.Second
 	}
 	if o.MaxTrials <= 0 {
 		o.MaxTrials = 64

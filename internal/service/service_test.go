@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -92,14 +93,28 @@ func TestSingleflightSharesOneRun(t *testing.T) {
 }
 
 func TestAdmissionShedsWith429(t *testing.T) {
-	// One slot, zero queue: concurrent *distinct* requests beyond the
-	// running one are shed with ErrOverloaded → 429 at the HTTP layer.
+	// One slot, default queue (4). The test itself pins the slot, so the
+	// burst deterministically fills the queue and the excess is shed with
+	// ErrOverloaded → 429 at the HTTP layer. (Pinning via a slow request
+	// instead is racy: on a fast machine the burst drains quicker than it
+	// arrives and nothing sheds.)
 	svc := New(Options{MaxConcurrent: 1, MaxQueue: 0})
 	ts := httptest.NewServer(svc.Handler())
 	defer ts.Close()
 
+	if err := svc.gate.acquire(testCtx(t, time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	released := false
+	defer func() {
+		if !released {
+			svc.gate.release()
+		}
+	}()
+
 	const clients = 12
 	codes := make([]int, clients)
+	var answered atomic.Int32
 	var wg sync.WaitGroup
 	for i := 0; i < clients; i++ {
 		wg.Add(1)
@@ -108,13 +123,27 @@ func TestAdmissionShedsWith429(t *testing.T) {
 			body, _ := json.Marshal(SimulateRequest{K: 8, D: 2, N: 4, BlocksPerRun: 400, Seed: uint64(1000 + i)})
 			resp, err := http.Post(ts.URL+"/v1/simulate", "application/json", bytes.NewReader(body))
 			if err != nil {
+				answered.Add(1)
 				return
 			}
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
 			codes[i] = resp.StatusCode
+			answered.Add(1)
 		}(i)
 	}
+	// While the test holds the only slot, every request either queues
+	// (at most 4) or is shed immediately — so exactly 8 answer now, all
+	// with 429. Wait for them, then hand the slot back so the queued
+	// four complete with 200.
+	for deadline := time.Now().Add(10 * time.Second); answered.Load() < clients-4; {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d shed requests answered", answered.Load(), clients-4)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	svc.gate.release()
+	released = true
 	wg.Wait()
 	var ok200, shed429 int
 	for _, c := range codes {
