@@ -1,8 +1,14 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build test race bench bench-json serve figures figures-quick verify examples clean
+.PHONY: all build test race bench bench-json serve figures figures-quick verify examples clean lint fuzz
 
 all: build test
+
+# Pinned static-analysis tool versions (tools.go documents the same
+# pins; they are not go.mod requirements so offline builds stay clean).
+# CI installs exactly these; locally they are optional.
+STATICCHECK_VERSION ?= 2025.1
+GOVULNCHECK_VERSION ?= v1.1.4
 
 build:
 	go build ./...
@@ -12,6 +18,32 @@ test:
 
 race:
 	go test -race ./...
+
+# Static analysis: go vet and the repo-specific detlint analyzers are
+# mandatory and hermetic (stdlib only). staticcheck and govulncheck run
+# at their pinned versions when installed; install hints otherwise.
+#   go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+#   go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+lint:
+	go vet ./...
+	go run ./cmd/detlint
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "govulncheck ./..."; govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
+	fi
+
+# Fuzz smoke: the serving boundary must never panic on arbitrary bytes,
+# and the canonical config encoding must be a decode/encode fixed point.
+FUZZTIME ?= 10s
+fuzz:
+	go test -run '^$$' -fuzz '^FuzzDecodeSimulateRequest$$' -fuzztime $(FUZZTIME) ./internal/service
+	go test -run '^$$' -fuzz '^FuzzCanonicalJSONRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/core
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -1,0 +1,83 @@
+// detlint is the repo's determinism-and-invariant multichecker: a
+// static-analysis suite enforcing that simulation results stay a pure
+// function of core.Config (the property the paper's validation and the
+// simd result cache both rest on). It runs four analyzers — nondet,
+// confighash, floatcmp, metricreg; see DESIGN.md §10 — over the
+// deterministic packages and the service layer.
+//
+// Usage:
+//
+//	detlint [-C dir] [packages...]
+//
+// With no package arguments it checks the default scope: every
+// repro/internal/... package. Findings print as
+// file:line:col: analyzer: message, and the exit status is 1 when any
+// finding survives //detlint:allow suppression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analyzers"
+)
+
+func main() {
+	dir := flag.String("C", ".", "directory to resolve packages from (the module root)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: detlint [-C dir] [packages...]\n\nAnalyzers:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nSuppress a finding with //detlint:allow [analyzer] <reason>.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	defaultScope := len(patterns) == 0
+	if defaultScope {
+		patterns = []string{"repro/internal/..."}
+	}
+
+	pkgs, err := lint.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	if defaultScope {
+		// The linter does not lint itself: its sources are full of the
+		// very patterns (exposition fragments, finding messages) the
+		// analyzers hunt for.
+		kept := pkgs[:0]
+		for _, p := range pkgs {
+			if p.Path != "repro/internal/lint" && !strings.HasPrefix(p.Path, "repro/internal/lint/") {
+				kept = append(kept, p)
+			}
+		}
+		pkgs = kept
+	}
+	diags, err := lint.RunPackages(pkgs, analyzers.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "detlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

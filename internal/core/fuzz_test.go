@@ -1,0 +1,47 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzCanonicalJSONRoundTrip feeds arbitrary bytes into the canonical
+// config schema and checks the property the result cache depends on:
+// decode → encode reaches a fixed point in one step, so the hash of a
+// canonical encoding is stable across decode/encode cycles. If the
+// encoder ever became order- or representation-unstable (map fields,
+// float formatting drift, omitempty asymmetries), equal configurations
+// would stop producing equal cache keys.
+func FuzzCanonicalJSONRoundTrip(f *testing.F) {
+	if seed, err := Default().CanonicalJSON(); err == nil {
+		f.Add(seed)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"k":25,"d":5,"run_lengths":[1,2,3],"unlimited_cache":true}`))
+	f.Add([]byte(`{"faults":[{"disk":1,"slowdown":2,"outages":[{"start_ms":5,"end_ms":9}]}]}`))
+	f.Add([]byte(`{"merge_time_ms":0.1,"disk_seek_ms_per_cyl":1e-9,"seed":18446744073709551615}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"k":"not a number"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var cc canonicalConfig
+		if err := json.Unmarshal(data, &cc); err != nil {
+			return // not a canonical encoding; nothing to round-trip
+		}
+		enc1, err := json.Marshal(cc)
+		if err != nil {
+			t.Fatalf("canonical value failed to re-encode: %v", err)
+		}
+		var cc2 canonicalConfig
+		if err := json.Unmarshal(enc1, &cc2); err != nil {
+			t.Fatalf("canonical encoding failed to decode: %v\nencoding: %s", err, enc1)
+		}
+		enc2, err := json.Marshal(cc2)
+		if err != nil {
+			t.Fatalf("round-tripped value failed to re-encode: %v", err)
+		}
+		if string(enc1) != string(enc2) {
+			t.Fatalf("canonical encoding is not a fixed point:\nfirst:  %s\nsecond: %s", enc1, enc2)
+		}
+	})
+}

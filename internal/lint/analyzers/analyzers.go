@@ -1,0 +1,12 @@
+package analyzers
+
+import "repro/internal/lint"
+
+// All returns every detlint analyzer, in the order findings are
+// documented in DESIGN.md §10. Each analyzer self-gates on package
+// content (confighash needs a Config/CanonicalJSON pair, metricreg a
+// Prometheus exposition), so running the full suite over a package is
+// always safe.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{Nondet, ConfigHash, FloatCmp, MetricReg}
+}

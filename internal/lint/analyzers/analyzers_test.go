@@ -1,0 +1,47 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/lint/analyzers"
+	"repro/internal/lint/linttest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestNondet(t *testing.T) {
+	linttest.Run(t, fixture("nondet"), analyzers.Nondet)
+}
+
+func TestFloatCmp(t *testing.T) {
+	linttest.Run(t, fixture("floatcmp"), analyzers.FloatCmp)
+}
+
+// TestConfigHashOK pins the zero-finding contract on a fixture shaped
+// like core.Config's real encoder (guarded callback, traversed nested
+// spec, wholesale slice copy).
+func TestConfigHashOK(t *testing.T) {
+	linttest.Run(t, fixture("confighash_ok"), analyzers.ConfigHash)
+}
+
+// TestConfigHashBad is the intentional-violation fixture: a Config
+// field missing from the encoder (the cache-poisoning hazard), a nested
+// spec field missing from it, and a mirror field never assigned.
+func TestConfigHashBad(t *testing.T) {
+	linttest.Run(t, fixture("confighash_bad"), analyzers.ConfigHash)
+}
+
+func TestMetricReg(t *testing.T) {
+	linttest.Run(t, fixture("metricreg"), analyzers.MetricReg)
+}
+
+// TestSuiteSelfGates runs the full suite over every fixture: analyzers
+// must not fire outside their domain (confighash on a package without
+// a Config, metricreg on a package without an exposition, ...), so the
+// multichecker can safely run everything everywhere.
+func TestSuiteSelfGates(t *testing.T) {
+	linttest.Run(t, fixture("confighash_ok"), analyzers.All()...)
+}

@@ -1,0 +1,396 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// ConfigHash cross-checks the fields of a package's `Config` struct
+// against its `CanonicalJSON` encoder. The encoder's output hashes into
+// the simd result-cache key, so a Config field the encoder ignores is a
+// cache-poisoning incident waiting to happen: two configs that differ
+// only in that field would collide on the same cached result. The
+// analyzer makes that a lint-time error instead.
+//
+// Coverage rules, applied to each exported field (recursively through
+// in-module struct types, so nested fault specs are checked too):
+//
+//  1. The field's value is copied wholesale into the encoding — its
+//     selector terminates a receiver-rooted chain in a value position
+//     (assignment RHS, composite-literal element, call argument,
+//     return). Sub-fields need no further checking; encoding/json
+//     handles them via struct tags.
+//  2. The field is an in-module struct (or pointer/slice of one) that
+//     is only *traversed* (nil-checked, ranged over): every exported
+//     sub-field must itself be covered.
+//  3. Any other field (scalars, funcs, interfaces) counts as covered if
+//     it is mentioned at all — the guard clauses that refuse
+//     un-encodable callback fields are exactly such mentions.
+//
+// The reverse direction is checked as well: every field of the
+// `canonical*` mirror structs must actually be assigned in the encoder,
+// so a mirror field that silently stays zero is also an error.
+//
+// Packages without a Config/CanonicalJSON pair are skipped, so the
+// analyzer is safe to run repo-wide.
+var ConfigHash = &lint.Analyzer{
+	Name: "confighash",
+	Doc:  "every Config field must participate in the CanonicalJSON cache key",
+	Run:  runConfigHash,
+}
+
+func runConfigHash(pass *lint.Pass) error {
+	cfgObj := pass.Pkg.Scope().Lookup("Config")
+	tn, ok := cfgObj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	cfgStruct, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	decl := findMethodDecl(pass, "Config", "CanonicalJSON")
+	if decl == nil || decl.Body == nil {
+		return nil
+	}
+
+	names := collectChains(pass, decl)
+
+	visiting := map[types.Type]bool{}
+	for i := 0; i < cfgStruct.NumFields(); i++ {
+		checkFieldCovered(pass, cfgStruct.Field(i), "Config", names, visiting)
+	}
+
+	checkCanonicalAssigned(pass, decl)
+	return nil
+}
+
+// findMethodDecl locates the FuncDecl for recvType.method in the pass.
+func findMethodDecl(pass *lint.Pass, recvType, method string) *ast.FuncDecl {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != method || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			t := fd.Recv.List[0].Type
+			if star, ok := t.(*ast.StarExpr); ok {
+				t = star.X
+			}
+			if id, ok := t.(*ast.Ident); ok && id.Name == recvType {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// chainNames is the evidence collected from the encoder body: which
+// struct fields terminate a config-rooted chain in a value position,
+// and which are mentioned at all. The sets are keyed by the field
+// objects themselves, not names, so Config.Disk and DiskSpec.Disk (or
+// WriteConfig.Disks and Spec.Disks) never alias each other.
+type chainNames struct {
+	terminalValue map[types.Object]bool
+	anywhere      map[types.Object]bool
+}
+
+// collectChains walks the encoder body tracking (a) which variables are
+// derived from the receiver (the receiver itself, plus range/assign
+// bindings rooted at it, transitively) and (b) every selector chain
+// rooted at a derived variable, classified by position.
+func collectChains(pass *lint.Pass, decl *ast.FuncDecl) chainNames {
+	names := chainNames{terminalValue: map[types.Object]bool{}, anywhere: map[types.Object]bool{}}
+
+	derived := map[types.Object]bool{}
+	if rf := decl.Recv.List[0]; len(rf.Names) == 1 {
+		if obj := pass.TypesInfo.Defs[rf.Names[0]]; obj != nil {
+			derived[obj] = true
+		}
+	}
+
+	rootObj := func(e ast.Expr) types.Object {
+		for {
+			switch x := e.(type) {
+			case *ast.Ident:
+				if o := pass.TypesInfo.Uses[x]; o != nil {
+					return o
+				}
+				return pass.TypesInfo.Defs[x]
+			case *ast.SelectorExpr:
+				e = x.X
+			case *ast.IndexExpr:
+				e = x.X
+			case *ast.StarExpr:
+				e = x.X
+			case *ast.ParenExpr:
+				e = x.X
+			case *ast.CallExpr:
+				e = x.Fun
+			default:
+				return nil
+			}
+		}
+	}
+
+	// Derivation pass: Go's declare-before-use order means a single
+	// in-order walk settles the derived set.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				if o := rootObj(rhs); o != nil && derived[o] {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if def := pass.TypesInfo.Defs[id]; def != nil {
+							derived[def] = true
+						} else if use := pass.TypesInfo.Uses[id]; use != nil {
+							derived[use] = true
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if o := rootObj(n.X); o != nil && derived[o] {
+				for _, v := range []ast.Expr{n.Key, n.Value} {
+					if id, ok := v.(*ast.Ident); ok {
+						if def := pass.TypesInfo.Defs[id]; def != nil {
+							derived[def] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Selector pass: record every field selector on a derived chain.
+	// A selector is "terminal" unless it is the X of an enclosing field
+	// selector (method selectors consume the whole value, so a chain
+	// ending in a method call keeps its last field terminal).
+	intermediate := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+				if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+					intermediate[inner] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node, inValue bool)
+	record := func(sel *ast.SelectorExpr, inValue bool) {
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return
+		}
+		if o := rootObj(sel); o == nil || !derived[o] {
+			return
+		}
+		field := s.Obj()
+		names.anywhere[field] = true
+		if inValue && !intermediate[sel] {
+			names.terminalValue[field] = true
+		}
+	}
+	walkExpr := func(e ast.Expr, inValue bool) { walk(e, inValue) }
+	walk = func(n ast.Node, inValue bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.SelectorExpr:
+			record(n, inValue)
+			walkExpr(n.X, inValue)
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				walkExpr(l, false)
+			}
+			for _, r := range n.Rhs {
+				walkExpr(r, true)
+			}
+		case *ast.RangeStmt:
+			walkExpr(n.X, false)
+			walk(n.Body, false)
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				walkExpr(r, true)
+			}
+		case *ast.CallExpr:
+			walkExpr(n.Fun, inValue)
+			for _, a := range n.Args {
+				walkExpr(a, true)
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					walkExpr(kv.Value, true)
+					continue
+				}
+				walkExpr(el, true)
+			}
+		default:
+			// Generic traversal preserving the current position class.
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == n {
+					return true
+				}
+				walk(c, inValue)
+				return false
+			})
+		}
+	}
+	walk(decl.Body, false)
+	return names
+}
+
+// checkFieldCovered applies the coverage rules to one field, recursing
+// through in-module struct types.
+func checkFieldCovered(pass *lint.Pass, f *types.Var, path string, names chainNames, visiting map[types.Type]bool) {
+	if !f.Exported() {
+		return
+	}
+	fieldPath := path + "." + f.Name()
+	if names.terminalValue[f] {
+		return // wholesale copy into the encoding
+	}
+	if st, local := inModuleStruct(pass, f.Type()); local {
+		if visiting[st] {
+			return
+		}
+		visiting[st] = true
+		for i := 0; i < st.NumFields(); i++ {
+			checkFieldCovered(pass, st.Field(i), fieldPath, names, visiting)
+		}
+		delete(visiting, st)
+		return
+	}
+	if names.anywhere[f] {
+		return
+	}
+	pass.Reportf(f.Pos(), "%s does not feed CanonicalJSON: add it to the canonical encoding (or reject it like the callback fields) so it participates in the result-cache key", fieldPath)
+}
+
+// inModuleStruct unwraps pointers/slices/arrays and reports whether the
+// element is a struct defined in this module (same leading path element
+// as the analyzed package), returning its struct type.
+func inModuleStruct(pass *lint.Pass, t types.Type) (*types.Struct, bool) {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+			continue
+		case *types.Slice:
+			t = u.Elem()
+			continue
+		case *types.Array:
+			t = u.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil, false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return nil, false
+	}
+	self := pass.Pkg.Path()
+	defPkg := named.Obj().Pkg().Path()
+	if defPkg == self {
+		return st, true
+	}
+	if i := strings.IndexByte(self, '/'); i > 0 && strings.HasPrefix(defPkg, self[:i+1]) {
+		return st, true
+	}
+	return nil, false
+}
+
+// checkCanonicalAssigned verifies the reverse direction: every field of
+// each canonical* mirror struct is assigned somewhere in the encoder
+// body (as a composite-literal key or an lvalue selector), so no mirror
+// field can silently encode as its zero value forever.
+func checkCanonicalAssigned(pass *lint.Pass, decl *ast.FuncDecl) {
+	assigned := map[string]bool{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if !isCanonicalType(pass, pass.TypesInfo.Types[n].Type) {
+				return true
+			}
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok {
+						assigned[typeKey(pass.TypesInfo.Types[n].Type)+"."+id.Name] = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for _, l := range n.Lhs {
+				sel, ok := l.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if t := pass.TypesInfo.Types[sel.X].Type; isCanonicalType(pass, t) {
+					assigned[typeKey(t)+"."+sel.Sel.Name] = true
+				}
+			}
+		}
+		return true
+	})
+
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		if !strings.HasPrefix(name, "canonical") {
+			continue
+		}
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if !assigned[name+"."+f.Name()] {
+				pass.Reportf(f.Pos(), "%s.%s is never assigned in CanonicalJSON: it would encode as a constant zero and never differentiate cache keys", name, f.Name())
+			}
+		}
+	}
+}
+
+func isCanonicalType(pass *lint.Pass, t types.Type) bool {
+	return strings.HasPrefix(typeKey(t), "canonical")
+}
+
+func typeKey(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return fmt.Sprintf("%v", t)
+}

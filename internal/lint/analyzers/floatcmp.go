@@ -1,0 +1,86 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// FloatCmp flags == and != between computed floating-point simulation
+// quantities (including named float types like sim.Time). Two runs of
+// the same derivation can differ in the last ulp the moment anyone
+// reorders an accumulation, so exact comparison is both a correctness
+// and a reproducibility hazard. Comparisons against compile-time
+// constants are deliberately not flagged: `x == 0` tests the
+// uninitialized sentinel and is exact under IEEE 754, and the paper's
+// configs use exact constants (0, 1, 0.5) throughout. Tolerance helpers
+// (approxEqual and friends) are allowlisted by name so the blessed
+// replacement can itself be implemented.
+var FloatCmp = &lint.Analyzer{
+	Name: "floatcmp",
+	Doc:  "flag exact ==/!= between computed floating-point quantities",
+	Run:  runFloatCmp,
+}
+
+// floatCmpHelperNames are functions allowed to contain raw float
+// equality: the tolerance helpers themselves, where the exact compare
+// is the fast path before the epsilon check.
+var floatCmpHelperNames = map[string]bool{
+	"approxEqual": true, "ApproxEqual": true,
+	"almostEqual": true, "AlmostEqual": true,
+	"floatEqual": true, "FloatEqual": true,
+}
+
+func runFloatCmp(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		// The node stack (popped on ast.Inspect's nil post-visit) lets
+		// the check find its innermost enclosing named function.
+		var stack []ast.Node
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			if cmp, ok := n.(*ast.BinaryExpr); ok {
+				checkFloatEq(pass, cmp, stack)
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFloatEq reports cmp if it is an exact equality between computed
+// float operands outside an allowlisted tolerance helper.
+func checkFloatEq(pass *lint.Pass, cmp *ast.BinaryExpr, stack []ast.Node) {
+	if cmp.Op != token.EQL && cmp.Op != token.NEQ {
+		return
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			if floatCmpHelperNames[fd.Name.Name] {
+				return
+			}
+			break // only the innermost named function is consulted
+		}
+	}
+	x, y := pass.TypesInfo.Types[cmp.X], pass.TypesInfo.Types[cmp.Y]
+	if !isFloat(x.Type) && !isFloat(y.Type) {
+		return
+	}
+	if x.Value != nil || y.Value != nil {
+		return // constant operand: exact by construction
+	}
+	pass.Reportf(cmp.OpPos, "exact %s between computed floating-point values (%s); compare with a tolerance helper, or //detlint:allow with the reason exactness holds", cmp.Op, x.Type)
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,190 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// MetricReg audits the hand-rolled Prometheus text exposition: every
+// metric family declared with a `# TYPE` line must be unique and
+// well-formed, carry a `# HELP` line, have every emitted sample line
+// resolve to a declared family, and be referenced by at least one test
+// or document — an unreferenced metric is either dead instrumentation
+// or a dashboard query that silently broke when someone renamed it.
+//
+// The analyzer triggers only on packages whose sources contain `# TYPE`
+// string literals, so it is safe to run repo-wide.
+var MetricReg = &lint.Analyzer{
+	Name: "metricreg",
+	Doc:  "Prometheus families must be unique, well-formed, HELP'd, and referenced by a test or doc",
+	Run:  runMetricReg,
+}
+
+var (
+	metricNameRx = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	typeLineRx   = regexp.MustCompile(`# TYPE ([^ \n]+) ([a-z]+)`)
+	helpLineRx   = regexp.MustCompile(`# HELP ([^ \n]+) `)
+	// sampleRx matches an exposition sample at the start of a literal:
+	// a metric name followed by a label block, a space, or a format verb.
+	sampleRx = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{| %)`)
+)
+
+// validFamilyTypes are the Prometheus exposition metric types.
+var validFamilyTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true,
+}
+
+func runMetricReg(pass *lint.Pass) error {
+	type family struct {
+		pos     token.Pos
+		kind    string
+		hasHelp bool
+	}
+	families := map[string]*family{}
+	var order []string
+	type sample struct {
+		name string
+		pos  token.Pos
+	}
+	var samples []sample
+
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bl, ok := n.(*ast.BasicLit)
+			if !ok || bl.Kind != token.STRING {
+				return true
+			}
+			text, err := strconv.Unquote(bl.Value)
+			if err != nil {
+				return true
+			}
+			for _, m := range typeLineRx.FindAllStringSubmatch(text, -1) {
+				name, kind := m[1], m[2]
+				if prev, seen := families[name]; seen {
+					if prev.kind != "" {
+						pass.Reportf(bl.Pos(), "metric family %q declared twice (previous # TYPE at %s)", name, pass.Fset.Position(prev.pos))
+						continue
+					}
+					prev.kind = kind // HELP line preceded its TYPE line
+				} else {
+					families[name] = &family{pos: bl.Pos(), kind: kind}
+					order = append(order, name)
+				}
+				if !metricNameRx.MatchString(name) {
+					pass.Reportf(bl.Pos(), "metric family %q is not a well-formed Prometheus name (want %s)", name, metricNameRx)
+				}
+				if !validFamilyTypes[kind] {
+					pass.Reportf(bl.Pos(), "metric family %q has unknown type %q", name, kind)
+				}
+			}
+			for _, m := range helpLineRx.FindAllStringSubmatch(text, -1) {
+				if f, ok := families[m[1]]; ok {
+					f.hasHelp = true
+				} else {
+					// HELP before TYPE in a later literal is fine; record
+					// it as a pre-declared family with no type yet.
+					families[m[1]] = &family{pos: bl.Pos(), hasHelp: true, kind: ""}
+					order = append(order, m[1])
+				}
+			}
+			if m := sampleRx.FindStringSubmatch(text); m != nil && !strings.HasPrefix(text, "# ") {
+				samples = append(samples, sample{name: m[1], pos: bl.Pos()})
+			}
+			return true
+		})
+	}
+	if len(order) == 0 {
+		return nil // not an exposition package
+	}
+
+	for _, name := range order {
+		f := families[name]
+		if f.kind == "" {
+			pass.Reportf(f.pos, "metric family %q has # HELP but no # TYPE line", name)
+		} else if !f.hasHelp {
+			pass.Reportf(f.pos, "metric family %q has no # HELP line", name)
+		}
+	}
+
+	// Every sample must belong to a declared family. Histograms emit
+	// _bucket/_sum/_count series and quantile lines under the base name.
+	resolves := func(name string) bool {
+		if _, ok := families[name]; ok {
+			return true
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base, found := strings.CutSuffix(name, suffix)
+			if !found {
+				continue
+			}
+			if f, ok := families[base]; ok && (f.kind == "histogram" || f.kind == "summary") {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range samples {
+		if !resolves(s.name) {
+			pass.Reportf(s.pos, "sample line emits %q but no # TYPE declares that family — typo between declaration and emission?", s.name)
+		}
+	}
+
+	// Reference check: each family name must appear in a test file of
+	// the package or in a markdown/YAML doc in the repo, so renames
+	// break loudly.
+	refs := referenceCorpus(pass)
+	names := make([]string, 0, len(families))
+	names = append(names, order...)
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.Contains(refs, name) {
+			pass.Reportf(families[name].pos, "metric family %q is not referenced by any test or doc; add it to a test assertion or the metrics table in DESIGN.md", name)
+		}
+	}
+	return nil
+}
+
+// referenceCorpus concatenates the package's test files and the repo's
+// markdown and workflow docs — the places a metric name should appear
+// at least once.
+func referenceCorpus(pass *lint.Pass) string {
+	var sb strings.Builder
+	for _, path := range pass.TestGoFiles {
+		if b, err := os.ReadFile(path); err == nil {
+			sb.Write(b)
+		}
+	}
+	root := pass.ModRoot
+	if root == "" {
+		root = pass.Dir
+	}
+	_ = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			name := d.Name()
+			dotDir := strings.HasPrefix(name, ".") && path != root && name != ".github"
+			if name == "testdata" || name == "figures-out" || dotDir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		switch filepath.Ext(path) {
+		case ".md", ".yml", ".yaml":
+			if b, err := os.ReadFile(path); err == nil {
+				sb.Write(b)
+			}
+		}
+		return nil
+	})
+	return sb.String()
+}

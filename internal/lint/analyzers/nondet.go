@@ -1,0 +1,275 @@
+// Package analyzers holds the repo-specific detlint analyzers: the
+// machine-checked form of the determinism and cache-key invariants that
+// the paper reproduction (and the simd result cache built on it)
+// depends on. See DESIGN.md §10 for the catalogue and rationale.
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Nondet flags sources of run-to-run nondeterminism in the simulation
+// packages: wall-clock reads, the process-global math/rand generators,
+// environment lookups, and map iteration whose order can leak into
+// results. Simulation time must come from sim.Time, randomness from
+// repro/internal/rng streams, and configuration from core.Config — a
+// single stray time.Now() silently breaks byte-identical figures and
+// poisons the canonical-hash result cache. Legitimate uses (the HTTP
+// service layer measuring request latency) are annotated one by one
+// with //detlint:allow, never exempted wholesale.
+var Nondet = &lint.Analyzer{
+	Name: "nondet",
+	Doc:  "flag wall clocks, global math/rand, env lookups and order-dependent map iteration in deterministic packages",
+	Run:  runNondet,
+}
+
+// forbiddenFuncs maps package path → package-level identifiers whose
+// use is nondeterministic. An empty set means every exported name in
+// the package is forbidden (math/rand's package-level funcs all share
+// the unseeded global source).
+var forbiddenFuncs = map[string]map[string]string{
+	"time": {
+		"Now":       "wall-clock read",
+		"Since":     "wall-clock read",
+		"Until":     "wall-clock read",
+		"After":     "wall-clock timer",
+		"AfterFunc": "wall-clock timer",
+		"Tick":      "wall-clock ticker",
+		"NewTimer":  "wall-clock timer",
+		"NewTicker": "wall-clock ticker",
+	},
+	"os": {
+		"Getenv":    "environment lookup",
+		"LookupEnv": "environment lookup",
+		"Environ":   "environment lookup",
+	},
+	"math/rand":    nil, // any use: the repo's RNG is repro/internal/rng
+	"math/rand/v2": nil,
+}
+
+func runNondet(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		checkForbiddenIdents(pass, file)
+		checkMapRanges(pass, file)
+	}
+	return nil
+}
+
+// checkForbiddenIdents reports every use of a forbidden package-level
+// function, resolved through the type checker so aliased imports and
+// shadowing are handled correctly.
+func checkForbiddenIdents(pass *lint.Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || obj.Pkg() == nil {
+			return true
+		}
+		names, watched := forbiddenFuncs[obj.Pkg().Path()]
+		if !watched || obj.Parent() != obj.Pkg().Scope() {
+			return true
+		}
+		if names == nil {
+			pass.Reportf(id.Pos(), "use of %s.%s: deterministic code draws randomness from repro/internal/rng streams, never math/rand", obj.Pkg().Path(), obj.Name())
+			return true
+		}
+		if kind, bad := names[obj.Name()]; bad {
+			pass.Reportf(id.Pos(), "%s.%s is a %s: simulation state must be a pure function of core.Config (use sim.Time for simulated clocks)", obj.Pkg().Name(), obj.Name(), kind)
+		}
+		return true
+	})
+}
+
+// checkMapRanges flags `range` over a map when the loop body feeds
+// iteration-order-dependent state outward: appending to a slice
+// declared outside the loop, writing output, or sending on a channel.
+// The one blessed shape — collecting keys and sorting them before use —
+// is recognized: an append target that is passed to sort/slices
+// ordering later in the same function is not reported.
+func checkMapRanges(pass *lint.Pass, file *ast.File) {
+	// Walk with an explicit node stack so the sorted-later check can
+	// find the enclosing function body. ast.Inspect signals post-visit
+	// with a nil node, one per visited node, so the stack pops on nil.
+	var stack []ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			tv, ok := pass.TypesInfo.Types[rs.X]
+			if ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					reportOrderSinks(pass, rs, enclosingFunc(stack))
+				}
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingFunc returns the innermost function declaration or literal
+// on the node stack, or nil.
+func enclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// reportOrderSinks scans one map-range body for order-dependent sinks.
+func reportOrderSinks(pass *lint.Pass, loop *ast.RangeStmt, enclosing ast.Node) {
+	ast.Inspect(loop.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside a map-range loop publishes values in map iteration order")
+		case *ast.CallExpr:
+			if name := outputCallName(pass, n); name != "" {
+				pass.Reportf(n.Pos(), "%s inside a map-range loop emits output in map iteration order; iterate a sorted key slice instead", name)
+			}
+		case *ast.AssignStmt:
+			checkOuterAppend(pass, n, loop, enclosing)
+		}
+		return true
+	})
+}
+
+// outputCallName reports a human name for calls that write output
+// (fmt printers, io.Writer methods), or "" if the call is not one.
+func outputCallName(pass *lint.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if obj, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok && obj.Imported().Path() == "fmt" {
+			switch sel.Sel.Name {
+			case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+				return "fmt." + sel.Sel.Name
+			}
+			return ""
+		}
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		switch sel.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			if recvWritesOutput(s.Recv()) {
+				return typeShortName(s.Recv()) + "." + sel.Sel.Name
+			}
+		}
+	}
+	return ""
+}
+
+// recvWritesOutput reports whether a Write* method receiver is an
+// output sink worth flagging (io.Writer implementations; string/byte
+// builders count — they usually feed rendered output).
+func recvWritesOutput(t types.Type) bool {
+	switch typeShortName(t) {
+	case "strings.Builder", "bytes.Buffer", "bufio.Writer":
+		return true
+	}
+	// Any other receiver implementing io.Writer-shaped methods is
+	// treated as a writer too; the method-name filter above already
+	// narrowed this to Write/WriteString/WriteByte/WriteRune.
+	return true
+}
+
+func typeShortName(t types.Type) string {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	}
+	return t.String()
+}
+
+// checkOuterAppend flags `s = append(s, ...)` inside a map-range loop
+// when s is declared outside the loop — unless s is later handed to a
+// sort, which restores a canonical order.
+func checkOuterAppend(pass *lint.Pass, assign *ast.AssignStmt, loop *ast.RangeStmt, enclosing ast.Node) {
+	for _, rhs := range assign.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "append" {
+			continue
+		}
+		if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		target, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.Uses[target]
+		if obj == nil || obj.Pos() == token.NoPos {
+			continue
+		}
+		if obj.Pos() >= loop.Pos() && obj.Pos() < loop.End() {
+			continue // declared inside the loop: order cannot escape
+		}
+		if sortedLater(pass, obj, loop, enclosing) {
+			continue
+		}
+		pass.Reportf(assign.Pos(), "append to %q inside a map-range loop accumulates in map iteration order; collect keys, sort, then iterate (or sort %q before use)", target.Name, target.Name)
+	}
+}
+
+// sortedLater reports whether obj is passed to a sort/slices ordering
+// call after the loop within the enclosing function — the canonical
+// collect-keys-then-sort idiom.
+func sortedLater(pass *lint.Pass, obj types.Object, loop *ast.RangeStmt, enclosing ast.Node) bool {
+	if enclosing == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < loop.End() || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		switch pn.Imported().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

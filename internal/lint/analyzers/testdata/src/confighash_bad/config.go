@@ -1,0 +1,44 @@
+// Package confighash_bad is the intentional-violation fixture for the
+// confighash analyzer: a Config field the encoder ignores (Skew), a
+// nested spec field the encoder ignores (Retries), and a canonical
+// mirror field that is never assigned (Unused). Each must be rejected —
+// an unserialized Config field is exactly the cache-poisoning bug the
+// analyzer exists to stop.
+package confighash_bad
+
+import "encoding/json"
+
+type DiskSpec struct {
+	Disk    int
+	Retries int // want `Config.Faults.Disks.Retries does not feed CanonicalJSON`
+}
+
+type Spec struct {
+	Disks []DiskSpec
+}
+
+type Config struct {
+	K      int
+	Skew   float64 // want `Config.Skew does not feed CanonicalJSON`
+	Faults *Spec
+}
+
+type canonicalConfig struct {
+	K      int              `json:"k"`
+	Unused int              `json:"unused"` // want `canonicalConfig.Unused is never assigned`
+	Faults []canonicalFault `json:"faults,omitempty"`
+}
+
+type canonicalFault struct {
+	Disk int `json:"disk"`
+}
+
+func (c Config) CanonicalJSON() ([]byte, error) {
+	cc := canonicalConfig{K: c.K}
+	if c.Faults != nil {
+		for _, ds := range c.Faults.Disks {
+			cc.Faults = append(cc.Faults, canonicalFault{Disk: ds.Disk})
+		}
+	}
+	return json.Marshal(cc)
+}

@@ -1,0 +1,65 @@
+// Package confighash_ok is a detlint fixture mirroring the shape of
+// core.Config's canonical encoder: scalar fields copied directly,
+// a nested fault-spec struct traversed field by field, a wholesale
+// slice copy (Outages) whose element fields need no mention, and a
+// callback field that is rejected rather than encoded. The confighash
+// analyzer must report nothing here.
+package confighash_ok
+
+import (
+	"encoding/json"
+	"errors"
+)
+
+// Window is encoded wholesale via its json tags; its fields are never
+// referenced individually in the encoder.
+type Window struct {
+	StartMs float64 `json:"start_ms"`
+	EndMs   float64 `json:"end_ms"`
+}
+
+type DiskSpec struct {
+	Disk     int
+	Slowdown float64
+	Outages  []Window
+}
+
+type Spec struct {
+	Disks []DiskSpec
+}
+
+type Config struct {
+	K        int
+	Seed     uint64
+	Faults   *Spec
+	OnResult func()
+}
+
+type canonicalConfig struct {
+	K      int              `json:"k"`
+	Seed   uint64           `json:"seed"`
+	Faults []canonicalFault `json:"faults,omitempty"`
+}
+
+type canonicalFault struct {
+	Disk     int      `json:"disk"`
+	Slowdown float64  `json:"slowdown,omitempty"`
+	Outages  []Window `json:"outages,omitempty"`
+}
+
+func (c Config) CanonicalJSON() ([]byte, error) {
+	if c.OnResult != nil {
+		return nil, errors.New("config with a callback has no canonical encoding")
+	}
+	cc := canonicalConfig{K: c.K, Seed: c.Seed}
+	if c.Faults != nil {
+		for _, ds := range c.Faults.Disks {
+			cc.Faults = append(cc.Faults, canonicalFault{
+				Disk:     ds.Disk,
+				Slowdown: ds.Slowdown,
+				Outages:  ds.Outages,
+			})
+		}
+	}
+	return json.Marshal(cc)
+}

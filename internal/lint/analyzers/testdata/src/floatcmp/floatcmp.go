@@ -1,0 +1,42 @@
+// Package floatcmp is a detlint fixture for the exact-float-equality
+// rule: computed comparisons are flagged (including named float types),
+// constant sentinels and allowlisted tolerance helpers are not.
+package floatcmp
+
+type duration float64
+
+func computed(a, b float64) bool {
+	return a == b // want `exact ==`
+}
+
+func namedFloat(a, b duration) bool {
+	return a != b // want `exact !=`
+}
+
+func float32Too(a, b float32) bool {
+	return a == b // want `exact ==`
+}
+
+// Comparison against a compile-time constant is exact by construction:
+// the zero sentinel and config constants are not flagged.
+func sentinels(a float64) bool {
+	return a == 0 || a != 1.5
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+// approxEqual is an allowlisted tolerance helper: the raw equality is
+// its legitimate fast path.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	return d < 1e-9 && d > -1e-9
+}
+
+func allowed(a, b float64) bool {
+	return a == b //detlint:allow floatcmp fixture demonstrates the scoped escape hatch
+}

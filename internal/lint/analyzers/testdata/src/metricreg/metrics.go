@@ -1,0 +1,42 @@
+// Package metricreg is a detlint fixture for the Prometheus exposition
+// audit: well-formed referenced families pass; duplicate declarations,
+// malformed names, unknown types, HELP/TYPE mismatches, samples without
+// a declaring family, and families no test or doc mentions are flagged.
+package metricreg
+
+import (
+	"fmt"
+	"io"
+)
+
+func write(w io.Writer, reqs, lat int) {
+	fmt.Fprintln(w, "# HELP app_requests_total Completed requests.")
+	fmt.Fprintln(w, "# TYPE app_requests_total counter")
+	fmt.Fprintf(w, "app_requests_total{code=%q} %d\n", "200", reqs)
+
+	fmt.Fprintln(w, "# HELP app_lat_seconds Request latency.")
+	fmt.Fprintln(w, "# TYPE app_lat_seconds histogram")
+	fmt.Fprintf(w, "app_lat_seconds_bucket{le=\"1\"} %d\n", lat)
+	fmt.Fprintf(w, "app_lat_seconds_sum %d\n", lat)
+	fmt.Fprintf(w, "app_lat_seconds_count %d\n", lat)
+	fmt.Fprintf(w, "app_lat_seconds{quantile=\"0.99\"} %d\n", lat)
+
+	fmt.Fprintln(w, "# TYPE app_dup_total counter") // want `no # HELP line`
+	fmt.Fprintln(w, "# TYPE app_dup_total counter") // want `declared twice`
+	fmt.Fprintf(w, "app_dup_total %d\n", reqs)
+
+	fmt.Fprintln(w, "# HELP app-bad-total Dashes are not legal in metric names.")
+	fmt.Fprintln(w, "# TYPE app-bad-total counter") // want `not a well-formed`
+
+	fmt.Fprintln(w, "# HELP app_weird_total A family of an unknown type.")
+	fmt.Fprintln(w, "# TYPE app_weird_total wibble") // want `unknown type`
+	fmt.Fprintf(w, "app_weird_total %d\n", reqs)
+
+	fmt.Fprintln(w, "# HELP app_notype_total Declared but never typed.") // want `has # HELP but no # TYPE`
+
+	fmt.Fprintf(w, "app_ghost_total %d\n", reqs) // want `no # TYPE declares`
+
+	fmt.Fprintln(w, "# HELP app_unreferenced_total No test or doc mentions this.") // want `not referenced by any test or doc`
+	fmt.Fprintln(w, "# TYPE app_unreferenced_total counter")
+	fmt.Fprintf(w, "app_unreferenced_total %d\n", reqs)
+}

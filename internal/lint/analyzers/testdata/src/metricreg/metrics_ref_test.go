@@ -1,0 +1,8 @@
+// This test file is the fixture's reference corpus: every family named
+// here counts as "referenced by a test" for the metricreg analyzer. One
+// family in metrics.go is deliberately absent from this list so the
+// unreferenced-family rule has a target.
+package metricreg
+
+// Referenced families: app_requests_total app_lat_seconds app_dup_total
+// app-bad-total app_weird_total app_notype_total app_ghost_total

@@ -1,0 +1,94 @@
+// Package nondet is a detlint fixture exercising every nondeterminism
+// rule: wall clocks, global math/rand, environment lookups, and
+// order-dependent map iteration — plus the shapes that must NOT be
+// flagged (loop-local appends, collect-then-sort) and the
+// //detlint:allow escape hatch.
+package nondet
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func clocks() time.Time {
+	t := time.Now()             // want `wall-clock read`
+	_ = time.Since(t)           // want `wall-clock read`
+	_ = time.After(time.Second) // want `wall-clock timer`
+	return t
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `environment lookup`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `never math/rand`
+}
+
+func seededRandStillFlagged() *rand.Rand { // want `never math/rand`
+	return rand.New(rand.NewSource(1)) // want `never math/rand` // want `never math/rand`
+}
+
+func mapAppend(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `map iteration order`
+	}
+	return out
+}
+
+// The blessed idiom: collect keys, sort, iterate. Not flagged.
+func mapAppendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func mapPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `map iteration order`
+	}
+}
+
+func mapSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `map iteration order`
+	}
+}
+
+// Loop-local accumulation and order-independent reduction: not flagged.
+func mapReduce(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// Slice iteration is ordered; nothing to flag.
+func sliceAppend(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func allowedTrailing() time.Time {
+	return time.Now() //detlint:allow fixture demonstrates the unscoped escape hatch
+}
+
+func allowedLineAbove(m map[int]int, ch chan int) {
+	for k := range m {
+		//detlint:allow nondet fixture demonstrates the analyzer-scoped escape hatch
+		ch <- k
+	}
+}

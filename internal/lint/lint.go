@@ -1,0 +1,210 @@
+// Package lint is a small, self-contained static-analysis framework in
+// the shape of golang.org/x/tools/go/analysis, built only on the
+// standard library's go/ast and go/types (the container that grows this
+// repo has no module proxy, so x/tools itself is unavailable).
+//
+// It exists to machine-check the repo's determinism and cache-key
+// invariants: the paper validation depends on exactly repeatable
+// simulation runs, and the simd result cache depends on
+// core.Config.CanonicalJSON covering every config field. The concrete
+// analyzers live in internal/lint/analyzers; cmd/detlint is the
+// multichecker front-end wired into `make lint` and CI.
+//
+// A finding can be suppressed at its site with
+//
+//	//detlint:allow <reason>           — suppress every analyzer here
+//	//detlint:allow <analyzer> <reason> — suppress one analyzer here
+//
+// placed either at the end of the offending line or alone on the line
+// directly above it. The reason is mandatory: a bare directive is
+// itself reported, so every exemption carries its justification in the
+// source.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. It mirrors
+// x/tools/go/analysis.Analyzer closely enough that the analyzers could
+// be ported to the real framework if the dependency ever becomes
+// available.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in scoped
+	// //detlint:allow directives. Lowercase, no spaces.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer guards.
+	Doc string
+
+	// Run inspects one package and reports findings through
+	// pass.Report. Returning an error aborts the whole run (reserved
+	// for internal failures, not findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Dir is the package directory; TestGoFiles lists the package's
+	// test sources (absolute paths, unparsed — analyzers that need
+	// them, like metricreg's referenced-by-a-test check, read them as
+	// text). ModRoot is the module root, for repo-level artifacts such
+	// as docs.
+	Dir         string
+	TestGoFiles []string
+	ModRoot     string
+
+	// Report records one finding. The runner applies //detlint:allow
+	// suppression afterwards, so analyzers always report unconditionally.
+	Report func(Diagnostic)
+}
+
+// A Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf is a convenience for analyzers: position + formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowDirective is one parsed //detlint:allow comment.
+type allowDirective struct {
+	pos      token.Position
+	analyzer string // "" = all analyzers
+	reason   string
+}
+
+const allowPrefix = "//detlint:allow"
+
+var directiveRx = regexp.MustCompile(`^//detlint:(\S+)`)
+
+// parseAllows extracts the allow directives of a file and reports
+// malformed ones (unknown verbs, missing reasons) as diagnostics so a
+// broken escape hatch can never silently suppress nothing.
+func parseAllows(fset *token.FileSet, file *ast.File, known map[string]bool, report func(Diagnostic)) []allowDirective {
+	var out []allowDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			m := directiveRx.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			if verb := m[1]; verb != "allow" {
+				report(Diagnostic{Pos: pos, Analyzer: "detlint", Message: fmt.Sprintf("unknown directive //detlint:%s (only //detlint:allow exists)", verb)})
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowPrefix))
+			dir := allowDirective{pos: pos}
+			if first, reason, _ := strings.Cut(rest, " "); known[first] {
+				dir.analyzer = first
+				dir.reason = strings.TrimSpace(reason)
+			} else {
+				dir.reason = rest
+			}
+			if dir.reason == "" {
+				report(Diagnostic{Pos: pos, Analyzer: "detlint", Message: "//detlint:allow needs a reason: //detlint:allow [analyzer] <why this is sound>"})
+				continue
+			}
+			out = append(out, dir)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether d is covered by an allow directive: same
+// file, same line or the line directly above, matching analyzer scope.
+func suppressed(d Diagnostic, allows []allowDirective) bool {
+	for _, a := range allows {
+		if a.pos.Filename != d.Pos.Filename {
+			continue
+		}
+		if a.pos.Line != d.Pos.Line && a.pos.Line != d.Pos.Line-1 {
+			continue
+		}
+		if a.analyzer == "" || a.analyzer == d.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// RunPackages applies every analyzer to every package and returns the
+// surviving findings sorted by position — the linter's own output must
+// be deterministic. Directive diagnostics (malformed //detlint:allow)
+// are included.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	collect := func(d Diagnostic) { diags = append(diags, d) }
+
+	for _, pkg := range pkgs {
+		var allows []allowDirective
+		for _, f := range pkg.Files {
+			allows = append(allows, parseAllows(pkg.Fset, f, known, collect)...)
+		}
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:    a,
+				Fset:        pkg.Fset,
+				Files:       pkg.Files,
+				Pkg:         pkg.Types,
+				TypesInfo:   pkg.Info,
+				Dir:         pkg.Dir,
+				TestGoFiles: pkg.TestGoFiles,
+				ModRoot:     pkg.ModRoot,
+				Report:      func(d Diagnostic) { raw = append(raw, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for _, d := range raw {
+			if !suppressed(d, allows) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseOne turns source text into a one-file Package with no type
+// information — enough for directive and suppression tests.
+func parseOne(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "fixture", Fset: fset, Files: []*ast.File{f}}
+}
+
+// lineReporter reports one finding on every line carrying a marker
+// comment, so suppression can be tested without a real analyzer.
+var lineReporter = &Analyzer{
+	Name: "marker",
+	Doc:  "reports on every MARK comment",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.Contains(c.Text, "MARK") {
+						pass.Reportf(c.Pos(), "marked line")
+					}
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestAllowSuppression(t *testing.T) {
+	pkg := parseOne(t, `package fixture
+
+func a() {
+	_ = 1 // MARK (unsuppressed)
+	_ = 2 /* MARK */ //detlint:allow demonstrating same-line suppression
+	//detlint:allow marker demonstrating line-above scoped suppression
+	_ = 3 // MARK
+	//detlint:allow otheranalyzer this scope does not match marker
+	_ = 4 // MARK
+}
+`)
+	diags, err := RunPackages([]*Package{pkg}, []*Analyzer{lineReporter, {Name: "otheranalyzer", Doc: "never fires", Run: func(*Pass) error { return nil }}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, d.Pos.Line)
+	}
+	// Line 4 is unsuppressed, and line 9 survives because the directive
+	// above it is scoped to a different analyzer. Lines 5 and 7 are
+	// suppressed (same-line and line-above).
+	want := []int{4, 9}
+	if len(lines) != 2 || lines[0] != want[0] || lines[1] != want[1] {
+		t.Fatalf("diagnostics on lines %v, want %v (%v)", lines, want, diags)
+	}
+}
+
+func TestAllowScopeMismatchDoesNotSuppress(t *testing.T) {
+	pkg := parseOne(t, `package fixture
+
+func a() {
+	//detlint:allow missing reason is required below
+	_ = 1 // MARK
+}
+`)
+	// "missing" is not an analyzer name, so the whole comment is an
+	// unscoped allow with a reason — it suppresses.
+	diags, err := RunPackages([]*Package{pkg}, []*Analyzer{lineReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected suppression, got %v", diags)
+	}
+}
+
+func TestMalformedDirectives(t *testing.T) {
+	pkg := parseOne(t, `package fixture
+
+func a() {
+	//detlint:allow
+	_ = 1 // MARK
+	//detlint:frobnicate whatever
+	_ = 2
+}
+`)
+	diags, err := RunPackages([]*Package{pkg}, []*Analyzer{lineReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("want 3 diagnostics (bare allow, unknown verb, unsuppressed MARK), got %d: %v", len(diags), msgs)
+	}
+	assertContains(t, msgs, "needs a reason")
+	assertContains(t, msgs, "unknown directive")
+	assertContains(t, msgs, "marked line") // a reasonless allow must not suppress
+}
+
+func TestScopedAllowOnlySuppressesItsAnalyzer(t *testing.T) {
+	pkg := parseOne(t, `package fixture
+
+func a() {
+	//detlint:allow marker scoped to the marker analyzer only
+	_ = 1 // MARK
+}
+`)
+	second := &Analyzer{
+		Name: "second",
+		Doc:  "also fires on MARK",
+		Run:  lineReporter.Run,
+	}
+	// Both report on line 5; only marker's finding is suppressed. The
+	// second analyzer reports under its own name via pass.Analyzer.
+	diags, err := RunPackages([]*Package{pkg}, []*Analyzer{lineReporter, second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "second" {
+		t.Fatalf("want exactly the second analyzer's finding, got %v", diags)
+	}
+}
+
+func TestDiagnosticsSorted(t *testing.T) {
+	pkg := parseOne(t, `package fixture
+
+func a() {
+	_ = 2 // MARK
+	_ = 1 // MARK
+}
+`)
+	diags, err := RunPackages([]*Package{pkg}, []*Analyzer{lineReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 || diags[0].Pos.Line > diags[1].Pos.Line {
+		t.Fatalf("diagnostics not sorted by position: %v", diags)
+	}
+}
+
+func assertContains(t *testing.T, msgs []string, substr string) {
+	t.Helper()
+	for _, m := range msgs {
+		if strings.Contains(m, substr) {
+			return
+		}
+	}
+	t.Errorf("no diagnostic contains %q in %v", substr, msgs)
+}

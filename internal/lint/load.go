@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one loaded, parsed and fully type-checked package ready
+// for analysis.
+type Package struct {
+	Path        string
+	Dir         string
+	Fset        *token.FileSet
+	Files       []*ast.File
+	Types       *types.Package
+	Info        *types.Info
+	TestGoFiles []string
+	ModRoot     string
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Module       *struct {
+		Path string
+		Dir  string
+	}
+}
+
+// loader resolves and type-checks packages of the current module from
+// source, delegating out-of-module imports (the standard library) to
+// the stock source importer. Everything works offline: `go list` only
+// inspects the local tree because the module has no external
+// dependencies.
+type loader struct {
+	dir     string // where go list runs
+	fset    *token.FileSet
+	meta    map[string]*listedPkg // module packages by import path
+	checked map[string]*Package
+	std     types.Importer
+}
+
+// Load type-checks the packages matching patterns (relative to dir, in
+// the usual `go list` pattern syntax) along with their in-module
+// dependencies, and returns the packages the patterns named.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	// The source importer type-checks stdlib dependencies from GOROOT
+	// source; turning cgo off keeps it on the pure-Go variants of net &
+	// friends, which avoids invoking the cgo tool entirely.
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	build.Default = ctxt
+
+	ld := &loader{
+		dir:     dir,
+		fset:    token.NewFileSet(),
+		meta:    make(map[string]*listedPkg),
+		checked: make(map[string]*Package),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "source", nil)
+
+	targets, err := ld.list(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range targets {
+		pkg, err := ld.check(path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// list runs `go list -deps -json` once, caches the metadata of every
+// in-module package in the dependency closure, and returns the import
+// paths the patterns matched directly.
+func (ld *loader) list(patterns []string) ([]string, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Module,DepOnly"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = ld.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var targets []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct {
+			listedPkg
+			DepOnly bool
+		}
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Module != nil {
+			pkg := p.listedPkg
+			ld.meta[p.ImportPath] = &pkg
+		}
+		if !p.DepOnly {
+			targets = append(targets, p.ImportPath)
+		}
+	}
+	return targets, nil
+}
+
+// check parses and type-checks one in-module package, memoized.
+func (ld *loader) check(path string) (*Package, error) {
+	if pkg, ok := ld.checked[path]; ok {
+		return pkg, nil
+	}
+	meta, ok := ld.meta[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %s is not in the module dependency closure", path)
+	}
+	var files []*ast.File
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: (*chainImporter)(ld)}
+	tpkg, err := conf.Check(path, ld.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg := &Package{
+		Path:  path,
+		Dir:   meta.Dir,
+		Fset:  ld.fset,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	for _, name := range meta.TestGoFiles {
+		pkg.TestGoFiles = append(pkg.TestGoFiles, filepath.Join(meta.Dir, name))
+	}
+	for _, name := range meta.XTestGoFiles {
+		pkg.TestGoFiles = append(pkg.TestGoFiles, filepath.Join(meta.Dir, name))
+	}
+	if meta.Module != nil {
+		pkg.ModRoot = meta.Module.Dir
+	}
+	ld.checked[path] = pkg
+	return pkg, nil
+}
+
+// chainImporter satisfies types.Importer: in-module packages are
+// type-checked from source by the loader itself, everything else (the
+// standard library) goes to the stock source importer.
+type chainImporter loader
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(c)
+	if _, ok := ld.meta[path]; ok {
+		pkg, err := ld.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}

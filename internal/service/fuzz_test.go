@@ -1,0 +1,50 @@
+package service
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+)
+
+// FuzzDecodeSimulateRequest drives arbitrary bytes through the exact
+// request path a client reaches: the strict bounded JSON decode, then
+// request→Config materialization, then the canonical hash that keys the
+// result cache. None of it may panic, and a body that decodes to a
+// valid config must hash identically on every call — a flaky hash would
+// silently split the cache.
+func FuzzDecodeSimulateRequest(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"k":25,"d":5,"n":1,"blocks_per_run":1000,"seed":1}`))
+	f.Add([]byte(`{"k":4,"d":2,"run_lengths":[10,20,30,40],"cache_blocks":-1,"trials":3}`))
+	f.Add([]byte(`{"schedule":"scan","placement":"striped","admission":"greedy","run_policy":"oracle","disk":"modern"}`))
+	f.Add([]byte(`{"write":{"shared":true,"disks":2,"batch_blocks":4,"buffer_blocks":16}}`))
+	f.Add([]byte(`{"faults":[{"disk":0,"slowdown":2.5,"read_error_prob":0.01,"max_retries":3,"outages":[{"start_ms":10,"end_ms":20}]}]}`))
+	f.Add([]byte(`{"k":1e999}`))
+	f.Add([]byte(`{"k":2}{"k":3}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`"a string, not an object"`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req SimulateRequest
+		rec := httptest.NewRecorder()
+		hr := httptest.NewRequest("POST", "/simulate", bytes.NewReader(body))
+		if code := decodeBody(rec, hr, &req); code != 0 {
+			return // rejected bodies are fine; not panicking is the contract
+		}
+		cfg, err := req.config()
+		if err != nil {
+			return
+		}
+		h1, err := cfg.Hash()
+		if err != nil {
+			// A wire request can't smuggle in callbacks or workload
+			// models, so every validated config must be hashable.
+			t.Fatalf("valid request produced unhashable config: %v", err)
+		}
+		h2, err := cfg.Hash()
+		if err != nil || h1 != h2 {
+			t.Fatalf("hash not stable: %q then %q (err %v)", h1, h2, err)
+		}
+	})
+}

@@ -44,7 +44,7 @@ func (s *Service) Handler() http.Handler {
 // event, not a silently dropped request).
 func (s *Service) instrumented(endpoint string, fn func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := time.Now() //detlint:allow nondet request-latency instrumentation measures real wall time, never simulation state
 		s.met.requestStarted()
 		code := http.StatusInternalServerError
 		defer func() {
@@ -57,6 +57,7 @@ func (s *Service) instrumented(endpoint string, fn func(http.ResponseWriter, *ht
 				// the request as a 500.
 				writeErrorBody(w, http.StatusInternalServerError, "internal error")
 			}
+			//detlint:allow nondet request-latency instrumentation measures real wall time, never simulation state
 			s.met.requestFinished(endpoint, code, time.Since(start).Seconds())
 		}()
 		code = fn(w, r)

@@ -38,6 +38,7 @@ type event struct {
 
 // before orders events by time, then by scheduling order.
 func (e event) before(o event) bool {
+	//detlint:allow floatcmp event timestamps are copied, never recomputed, so tie-breaking on exact equality is sound
 	if e.at != o.at {
 		return e.at < o.at
 	}
@@ -86,6 +87,7 @@ func (c *calendar) nextAt() Time {
 // instant (only possible after RunUntil rewound the clock to an earlier
 // horizon); those fall through to the heap, which orders anything.
 func (c *calendar) push(e event, now Time) {
+	//detlint:allow floatcmp same-instant FIFO admission compares copied timestamps; exact equality is the intended semantics
 	if e.at == now && (len(c.fifo) == c.head || c.fifo[len(c.fifo)-1].at == e.at) {
 		c.fifo = append(c.fifo, e)
 		return

@@ -38,9 +38,11 @@ func (f *Figure) WriteSVG(w io.Writer, width, height int) error {
 	if minY > 0 {
 		minY = 0
 	}
+	//detlint:allow floatcmp degenerate-axis guard: both sides are the same accumulated extrema, exact equality detects a flat range
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//detlint:allow floatcmp degenerate-axis guard: both sides are the same accumulated extrema, exact equality detects a flat range
 	if maxY == minY {
 		maxY = minY + 1
 	}

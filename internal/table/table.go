@@ -63,6 +63,7 @@ func (f *Figure) xGrid() []float64 {
 // valueAt returns the series value at x and whether it exists.
 func (s *Series) valueAt(x float64) (float64, bool) {
 	for i, sx := range s.X {
+		//detlint:allow floatcmp x coordinates are sweep inputs copied verbatim from configs; lookup by exact value is intended
 		if sx == x {
 			return s.Y[i], true
 		}
@@ -142,9 +143,11 @@ func (f *Figure) WriteASCIIChart(w io.Writer, width, height int) error {
 	if math.IsInf(minX, 1) {
 		return fmt.Errorf("table: figure %s has no points", f.ID)
 	}
+	//detlint:allow floatcmp degenerate-axis guard: both sides are the same accumulated extrema, exact equality detects a flat range
 	if maxX == minX {
 		maxX = minX + 1
 	}
+	//detlint:allow floatcmp degenerate-axis guard: both sides are the same accumulated extrema, exact equality detects a flat range
 	if maxY == minY {
 		maxY = minY + 1
 	}

@@ -1,0 +1,24 @@
+//go:build tools
+
+// Package tools pins the static-analysis tool versions this repo is
+// linted with. The build tag keeps it out of every real build, and the
+// tools are deliberately NOT go.mod requirements: the library itself is
+// stdlib-only, and adding analysis-tool module graphs would break
+// offline/vendorless builds for a dependency no production binary uses.
+//
+// The single source of truth for versions is the Makefile
+// (STATICCHECK_VERSION, GOVULNCHECK_VERSION); CI installs exactly
+// those. To install locally:
+//
+//	go install honnef.co/go/tools/cmd/staticcheck@2025.1
+//	go install golang.org/x/vuln/cmd/govulncheck@v1.1.4
+//
+// Building with -tags tools therefore fails unless those modules have
+// been added to the module graph — that is intentional; this file is
+// documentation with a compiler-checked shape, not an import site.
+package tools
+
+import (
+	_ "golang.org/x/vuln/cmd/govulncheck"  // pinned: v1.1.4
+	_ "honnef.co/go/tools/cmd/staticcheck" // pinned: 2025.1
+)
