@@ -27,6 +27,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/service"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // benchOpts keeps figure regeneration affordable under -bench: one
@@ -126,6 +127,29 @@ func BenchmarkMergeInterSync(b *testing.B)   { benchStrategy(b, 10, true, true) 
 // substrate.
 func BenchmarkKernelEvents(b *testing.B) {
 	k := sim.New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(1, tick)
+		}
+	}
+	k.After(1, tick)
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkKernelEventsTraced is the zero-overhead guard for the
+// tracing subsystem: the same event loop as BenchmarkKernelEvents with
+// a trace.Recorder installed on the kernel. Timer-event dispatch has no
+// tracer hook — recording happens at process boundaries and in the
+// model layer (disk, engine, cache) — so this must match
+// BenchmarkKernelEvents within noise.
+func BenchmarkKernelEventsTraced(b *testing.B) {
+	k := sim.New()
+	k.SetTracer(trace.New(1024))
 	n := 0
 	var tick func()
 	tick = func() {

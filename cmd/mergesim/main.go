@@ -25,6 +25,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/sim"
 	"repro/internal/table"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -47,6 +48,9 @@ func main() {
 		ganttMs   = flag.Float64("gantt-ms", 0, "render a disk-busy Gantt chart for the first N ms of trial 1")
 		jsonOut   = flag.Bool("json", false, "emit results as JSON instead of text")
 		reqLog    = flag.String("reqlog", "", "write a JSONL log of every disk request (trial 1) to this file")
+		traceOut  = flag.String("trace", "", "write an execution trace of trial 1 to this file")
+		traceFmt  = flag.String("trace-format", "chrome", "trace format: chrome (Perfetto/chrome://tracing JSON) or csv")
+		traceMax  = flag.Int("trace-events", 0, "cap on recorded trace events (0 = default 1M; past it the trace truncates)")
 
 		faultDisk     = flag.Int("fault-disk", -1, "disk index to inject faults into (-1 = none)")
 		faultSlowdown = flag.Float64("fault-slowdown", 0, "fail-slow service-time multiplier for the faulted disk (>= 1)")
@@ -136,11 +140,31 @@ func main() {
 			*trials = 1
 		}
 	}
+	if *traceOut != "" {
+		if *traceFmt != "chrome" && *traceFmt != "csv" {
+			fatal(fmt.Errorf("unknown trace format %q (want chrome or csv)", *traceFmt))
+		}
+		cfg.Trace = trace.New(*traceMax)
+		if *trials > 1 {
+			fmt.Fprintln(os.Stderr, "mergesim: -trace forces a single trial")
+			*trials = 1
+		}
+	}
 	aggs, err := core.RunGrid([]core.Config{cfg}, *trials, *workers)
 	if err != nil {
 		fatal(err)
 	}
 	agg := aggs[0]
+	if cfg.Trace != nil {
+		if err := writeTrace(*traceOut, *traceFmt, cfg.Trace); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "trace written to %s (%d events, format %s)\n",
+			*traceOut, cfg.Trace.Len(), *traceFmt)
+		if cfg.Trace.Truncated() {
+			fmt.Fprintln(os.Stderr, "mergesim: trace truncated at the event cap; raise -trace-events for a full timeline")
+		}
+	}
 	if logFile != nil {
 		// A truncated request log is worse than no log: surface flush
 		// and close errors (ENOSPC, I/O) with a non-zero exit.
@@ -240,6 +264,32 @@ func printPredictions(cfg core.Config) {
 	default:
 		fmt.Printf("analytic       lower bound kTB/D = %.3f s\n", m.MultiDiskFloor(b).Seconds())
 	}
+}
+
+// writeTrace exports the recorded trace, surfacing flush and close
+// errors with a non-zero exit — a truncated trace file loads as garbage
+// in Perfetto.
+func writeTrace(path, format string, rec *trace.Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	buf := bufio.NewWriter(f)
+	if format == "csv" {
+		err = rec.WriteCSV(buf)
+	} else {
+		err = rec.WriteChrome(buf)
+	}
+	if err == nil {
+		err = buf.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace %s: %w", path, err)
+	}
+	return nil
 }
 
 // parseOutages parses "start:end[,start:end]" (milliseconds) into

@@ -15,6 +15,11 @@
 //
 //	curl -s localhost:8080/v1/simulate -d '{"k":25,"d":5,"n":10,"inter_run":true}'
 //
+// Observability: -log-json emits one structured log line per request
+// (with the X-Request-ID the daemon assigns or echoes), and
+// -pprof-addr serves net/http/pprof on a separate listener so profiling
+// is opt-in and never exposed on the API address.
+//
 // simd drains gracefully on SIGINT/SIGTERM: the health check flips to
 // 503, the listener stops accepting, in-flight requests and detached
 // engine runs finish (bounded by -drain-timeout), then the process
@@ -27,8 +32,10 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,8 +56,16 @@ func main() {
 		maxTrials    = flag.Int("max-trials", 64, "max trials per request")
 		maxPoints    = flag.Int("max-points", 512, "max points per sweep")
 		workers      = flag.Int("workers", 0, "engine pool size per admitted run (0 = GOMAXPROCS)")
+		maxTraceEv   = flag.Int("max-trace-events", 0, "event cap per traced simulate request (0 = service default)")
+		logJSON      = flag.Bool("log-json", false, "emit one JSON log line per request on stderr")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled)")
 	)
 	flag.Parse()
+
+	var logger *slog.Logger
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 
 	svc := service.New(service.Options{
 		CacheEntries:   *cacheEntries,
@@ -61,7 +76,31 @@ func main() {
 		MaxTrials:      *maxTrials,
 		MaxPoints:      *maxPoints,
 		Workers:        *workers,
+		MaxTraceEvents: *maxTraceEv,
+		Logger:         logger,
 	})
+
+	// pprof gets its own listener and mux so profiling endpoints are
+	// never reachable through the public API address.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("simd: pprof listen: %v", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Printf("simd: pprof on %s\n", pln.Addr())
+		go func() {
+			psrv := &http.Server{Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := psrv.Serve(pln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("simd: pprof serve: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"log"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -62,6 +63,11 @@ func (r *retrier) do(client *http.Client, method, url, contentType string, body 
 		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode != http.StatusServiceUnavailable {
 			return resp, nil
 		}
+		// The server assigns every request an ID (X-Request-ID); logging
+		// it on the retried attempt lets the operator find the exact shed
+		// or timed-out request in the daemon's structured log.
+		log.Printf("simclient: %s %s: status %d (request id %s), retrying",
+			method, url, resp.StatusCode, resp.Header.Get("X-Request-ID"))
 		lastErr = &retryableStatus{code: resp.StatusCode, retryAfter: parseRetryAfter(resp)}
 		resp.Body.Close()
 	}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/layout"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -150,6 +151,16 @@ type Config struct {
 
 	// Tracer, if non-nil, observes the simulation.
 	Tracer sim.Tracer
+
+	// Trace, if non-nil, records an execution timeline into the given
+	// recorder: per-disk seek/rotation/retry/transfer spans, CPU
+	// compute/stall intervals, prefetch issue→complete spans and
+	// cache-occupancy samples, all in simulated time (see
+	// internal/trace). Observation only — a traced run produces the
+	// exact result of an untraced one, and the field is excluded from
+	// the canonical encoding, so traced and untraced configs share a
+	// Hash. Like Tracer, it forces RunTrials/RunGrid serial.
+	Trace *trace.Recorder
 
 	// RecordTimeline captures per-disk busy intervals into
 	// Result.Timeline (bounded; see core.Interval).

@@ -11,6 +11,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -125,6 +126,10 @@ func newEngine(cfg Config) (*engine, error) {
 	k := sim.New()
 	if cfg.Tracer != nil {
 		k.SetTracer(cfg.Tracer)
+	} else if cfg.Trace != nil {
+		// The recorder doubles as the kernel tracer so process lifecycle
+		// events land as marks on the CPU track.
+		k.SetTracer(cfg.Trace)
 	}
 	lay, err := layout.NewLengths(cfg.Placement, cfg.runLengths(), cfg.D)
 	if err != nil {
@@ -181,7 +186,20 @@ func newEngine(cfg Config) (*engine, error) {
 			dk.SetRequestObserver(cfg.OnRequest)
 		}
 		dk.SetFaultInjector(inj.Disk(d))
+		if cfg.Trace != nil {
+			// Track 0 is the CPU; input disk d records on track 1+d.
+			cfg.Trace.Track(trace.CPUTrack+1+d, fmt.Sprintf("disk %d", d))
+			dk.SetTrace(cfg.Trace, trace.CPUTrack+1+d)
+			if di := inj.Disk(d); di != nil {
+				di.SetTrace(cfg.Trace, trace.CPUTrack+1+d)
+			}
+		}
 		e.disks = append(e.disks, dk)
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.Track(trace.CPUTrack, "cpu")
+		cfg.Trace.CacheSample(0, 0)
+		c.SetOccupancyObserver(func(occ int) { cfg.Trace.CacheSample(k.Now(), occ) })
 	}
 	e.writeRot = root.Split("write")
 	w, err := newWriter(e)
@@ -268,7 +286,9 @@ func (e *engine) cpu(p *sim.Proc) {
 		}
 
 		if e.cfg.MergeTimePerBlock > 0 {
+			t0 := p.Now()
 			p.Sleep(e.cfg.MergeTimePerBlock)
+			e.cfg.Trace.CPUSpan(trace.CPUCompute, t0, p.Now())
 		}
 		if e.writer != nil {
 			e.writer.produce(p)
@@ -296,6 +316,7 @@ func (e *engine) fetchAndWait(p *sim.Proc, j int) {
 	stall := p.Now() - start
 	e.stallTime += stall
 	e.stallHist.Add(stall.Milliseconds())
+	e.cfg.Trace.CPUSpan(trace.CPUStall, start, p.Now())
 }
 
 // issueFetch performs one I/O decision for demand run j: it sizes the
@@ -374,6 +395,7 @@ func (e *engine) issueFetch(j int) []*sim.Completion {
 		from := e.nextFetch[run]
 		e.nextFetch[run] += pc.n
 		e.inflight[run] += pc.n
+		issued := e.k.Now()
 		for _, ext := range e.lay.Extents(run, from, pc.n) {
 			ext := ext
 			req := &disk.Request{
@@ -384,6 +406,9 @@ func (e *engine) issueFetch(j int) []*sim.Completion {
 					e.cache.Deposit(run, ext.BlockIndex(i))
 					e.inflight[run]--
 					e.runArrival[run].Broadcast()
+					if i == ext.Count-1 {
+						e.cfg.Trace.Prefetch(trace.CPUTrack+1+ext.Disk, run, ext.Count, issued, at)
+					}
 				},
 			}
 			e.disks[ext.Disk].Submit(req)
@@ -478,6 +503,7 @@ func (e *engine) initialLoad(p *sim.Proc) {
 		e.nextFetch[r] = per
 		e.inflight[r] = per
 		run := r
+		issued := p.Now()
 		for _, ext := range e.lay.Extents(r, 0, per) {
 			ext := ext
 			req := &disk.Request{
@@ -488,13 +514,18 @@ func (e *engine) initialLoad(p *sim.Proc) {
 					e.cache.Deposit(run, ext.BlockIndex(i))
 					e.inflight[run]--
 					e.runArrival[run].Broadcast()
+					if i == ext.Count-1 {
+						e.cfg.Trace.Prefetch(trace.CPUTrack+1+ext.Disk, run, ext.Count, issued, at)
+					}
 				},
 			}
 			e.disks[ext.Disk].Submit(req)
 			completions = append(completions, req.Done)
 		}
 	}
+	start := p.Now()
 	p.AwaitAll(completions...)
+	e.cfg.Trace.CPUSpan(trace.CPUStall, start, p.Now())
 }
 
 func (e *engine) result() Result {

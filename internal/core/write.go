@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/disk"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // WriteConfig models the merge output traffic the paper deliberately
@@ -154,6 +155,10 @@ func newWriter(e *engine) (*writer, error) {
 		dk.SetBusyObserver(e.observerFor(id))
 		if e.cfg.OnRequest != nil {
 			dk.SetRequestObserver(e.cfg.OnRequest)
+		}
+		if e.cfg.Trace != nil {
+			e.cfg.Trace.Track(trace.CPUTrack+1+id, fmt.Sprintf("write %d", i))
+			dk.SetTrace(e.cfg.Trace, trace.CPUTrack+1+id)
 		}
 		w.disks = append(w.disks, dk)
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Request is one I/O operation: Count contiguous blocks starting at
@@ -125,6 +126,11 @@ type Disk struct {
 	inj      *faults.DiskInjector
 	parked   bool
 	faultErr error
+
+	// tr, when non-nil, records this disk's busy-time decomposition on
+	// trace track trTrack. A nil recorder costs one nil check per phase.
+	tr      *trace.Recorder
+	trTrack int
 }
 
 // New creates a disk on kernel k. The rotation stream must be dedicated
@@ -171,6 +177,15 @@ func (d *Disk) SetBusyObserver(fn func(at sim.Time, busy bool)) { d.onBusy = fn 
 // SetRequestObserver installs fn to be called at every request dispatch
 // with its timing decomposition.
 func (d *Disk) SetRequestObserver(fn func(RequestTrace)) { d.onRequest = fn }
+
+// SetTrace attaches a trace recorder (nil-safe): every dispatched
+// request is decomposed into seek/rotation/retry/transfer phase spans
+// on the given track, and outage parks become outage spans. The
+// recorder is observation-only — attaching one never changes timing.
+func (d *Disk) SetTrace(tr *trace.Recorder, track int) {
+	d.tr = tr
+	d.trTrack = track
+}
 
 // SetFaultInjector installs the disk's fault model (nil = healthy). The
 // injector is consulted at every dispatch: outage windows park the
@@ -310,6 +325,7 @@ func (d *Disk) startNext() {
 			// Requests submitted meanwhile just queue behind the park.
 			d.parked = true
 			d.stats.OutageTime += wait
+			d.tr.DiskPhase(d.trTrack, trace.PhaseOutage, now, now+wait)
 			d.k.After(wait, func() {
 				d.parked = false
 				if !d.busy && len(d.queue) > 0 {
@@ -367,6 +383,15 @@ func (d *Disk) startNext() {
 
 	// The head finishes over the last block transferred.
 	d.curCylinder = d.CylinderOf(req.Start + req.Count - 1)
+
+	if d.tr != nil {
+		// One span per phase, in service order; retries (re-read latency
+		// plus transfer) sit between rotation and the delivered transfer.
+		d.tr.DiskPhase(d.trTrack, trace.PhaseSeek, now, now+seek)
+		d.tr.DiskPhase(d.trTrack, trace.PhaseRotation, now+seek, now+seek+rot)
+		d.tr.DiskPhase(d.trTrack, trace.PhaseRetry, now+seek+rot, now+seek+rot+retryTime)
+		d.tr.DiskPhase(d.trTrack, trace.PhaseTransfer, now+seek+rot+retryTime, now+seek+rot+retryTime+transfer)
+	}
 
 	if d.onRequest != nil {
 		d.onRequest(RequestTrace{

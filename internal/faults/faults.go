@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/rng"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // DefaultMaxRetries is the re-read cap applied when DiskSpec.MaxRetries
@@ -181,6 +182,17 @@ func (in *Injector) Disk(i int) *DiskInjector {
 type DiskInjector struct {
 	spec DiskSpec
 	r    *rng.Stream
+
+	tr         *trace.Recorder // nil when untraced
+	trTrack    int
+	slowMarked bool
+}
+
+// SetTrace attaches a trace recorder (nil-safe) so fault transitions
+// land as marks on the owning disk's track.
+func (di *DiskInjector) SetTrace(tr *trace.Recorder, track int) {
+	di.tr = tr
+	di.trTrack = track
 }
 
 // Slowdown returns the service-time multiplier in effect at the
@@ -188,6 +200,10 @@ type DiskInjector struct {
 func (di *DiskInjector) Slowdown(at sim.Time) float64 {
 	if di.spec.Slowdown == 0 || float64(at) < di.spec.SlowdownAtMs {
 		return 1
+	}
+	if !di.slowMarked {
+		di.slowMarked = true
+		di.tr.Mark(di.trTrack, "fault-slowdown-on", at)
 	}
 	return di.spec.Slowdown
 }

@@ -3,6 +3,7 @@ package analyzers
 import (
 	"go/ast"
 	"go/token"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -20,6 +21,15 @@ import (
 // or document — an unreferenced metric is either dead instrumentation
 // or a dashboard query that silently broke when someone renamed it.
 //
+// Histogram families get four extra checks on their emitted samples:
+// a histogram never exposes a bare-name sample (only _bucket/_sum/
+// _count series), every _bucket sample carries an le label, a family
+// that emits any series emits all three, and its buckets include
+// le="+Inf". Bucket le values spelled out inside one literal must also
+// ascend — a misordered bucket ladder makes every cumulative count a
+// lie. (le values produced by format verbs are checked at runtime by
+// the exposition tests, not here.)
+//
 // The analyzer triggers only on packages whose sources contain `# TYPE`
 // string literals, so it is safe to run repo-wide.
 var MetricReg = &lint.Analyzer{
@@ -32,9 +42,11 @@ var (
 	metricNameRx = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 	typeLineRx   = regexp.MustCompile(`# TYPE ([^ \n]+) ([a-z]+)`)
 	helpLineRx   = regexp.MustCompile(`# HELP ([^ \n]+) `)
-	// sampleRx matches an exposition sample at the start of a literal:
+	// sampleRx matches an exposition sample at the start of a line:
 	// a metric name followed by a label block, a space, or a format verb.
 	sampleRx = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{| %)`)
+	// leValueRx extracts bucket le label values for the ordering check.
+	leValueRx = regexp.MustCompile(`le="([^"]*)"`)
 )
 
 // validFamilyTypes are the Prometheus exposition metric types.
@@ -53,6 +65,7 @@ func runMetricReg(pass *lint.Pass) error {
 	type sample struct {
 		name string
 		pos  token.Pos
+		line string // the exposition line the sample heads
 	}
 	var samples []sample
 
@@ -95,8 +108,28 @@ func runMetricReg(pass *lint.Pass) error {
 					order = append(order, m[1])
 				}
 			}
-			if m := sampleRx.FindStringSubmatch(text); m != nil && !strings.HasPrefix(text, "# ") {
-				samples = append(samples, sample{name: m[1], pos: bl.Pos()})
+			for _, ln := range strings.Split(text, "\n") {
+				if strings.HasPrefix(ln, "# ") {
+					continue
+				}
+				if m := sampleRx.FindStringSubmatch(ln); m != nil {
+					samples = append(samples, sample{name: m[1], pos: bl.Pos(), line: ln})
+				}
+			}
+			// Bucket le values spelled out inside one literal must ascend.
+			// Values produced by format verbs don't parse and are skipped;
+			// "+Inf" parses as infinity, so it must come last.
+			prevLe := math.Inf(-1)
+			for _, m := range leValueRx.FindAllStringSubmatch(text, -1) {
+				v, err := strconv.ParseFloat(m[1], 64)
+				if err != nil {
+					continue
+				}
+				if v < prevLe {
+					pass.Reportf(bl.Pos(), "histogram buckets out of order: le=%q after le=\"%g\" (le values must ascend)", m[1], prevLe)
+					break
+				}
+				prevLe = v
 			}
 			return true
 		})
@@ -134,6 +167,73 @@ func runMetricReg(pass *lint.Pass) error {
 	for _, s := range samples {
 		if !resolves(s.name) {
 			pass.Reportf(s.pos, "sample line emits %q but no # TYPE declares that family — typo between declaration and emission?", s.name)
+		}
+	}
+
+	// Histogram-specific sample validation.
+	type histState struct {
+		bucket, sum, count bool
+		sawInf             bool
+	}
+	hists := map[string]*histState{}
+	for name, f := range families {
+		if f.kind == "histogram" {
+			hists[name] = &histState{}
+		}
+	}
+	for _, s := range samples {
+		if _, bare := hists[s.name]; bare {
+			pass.Reportf(s.pos, "histogram family %q emits a bare sample line; histograms expose only _bucket/_sum/_count series", s.name)
+			continue
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base, found := strings.CutSuffix(s.name, suffix)
+			if !found {
+				continue
+			}
+			st, ok := hists[base]
+			if !ok {
+				continue
+			}
+			switch suffix {
+			case "_bucket":
+				st.bucket = true
+				if !strings.Contains(s.line, "le=") {
+					pass.Reportf(s.pos, "histogram bucket sample %q has no le label", s.name)
+				}
+				if strings.Contains(s.line, `le="+Inf"`) {
+					st.sawInf = true
+				}
+			case "_sum":
+				st.sum = true
+			case "_count":
+				st.count = true
+			}
+		}
+	}
+	histNames := make([]string, 0, len(hists))
+	for name := range hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		st := hists[name]
+		if !st.bucket && !st.sum && !st.count {
+			continue // declared here, emitted elsewhere — nothing to judge
+		}
+		var missing []string
+		for _, p := range []struct {
+			ok     bool
+			suffix string
+		}{{st.bucket, "_bucket"}, {st.sum, "_sum"}, {st.count, "_count"}} {
+			if !p.ok {
+				missing = append(missing, p.suffix)
+			}
+		}
+		if len(missing) > 0 {
+			pass.Reportf(families[name].pos, "histogram family %q is missing its %s series", name, strings.Join(missing, ", "))
+		} else if !st.sawInf {
+			pass.Reportf(families[name].pos, "histogram family %q has no le=\"+Inf\" bucket sample", name)
 		}
 	}
 

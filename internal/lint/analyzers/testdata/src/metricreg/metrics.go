@@ -14,12 +14,37 @@ func write(w io.Writer, reqs, lat int) {
 	fmt.Fprintln(w, "# TYPE app_requests_total counter")
 	fmt.Fprintf(w, "app_requests_total{code=%q} %d\n", "200", reqs)
 
-	fmt.Fprintln(w, "# HELP app_lat_seconds Request latency.")
+	fmt.Fprintln(w, "# HELP app_lat_seconds Request latency.") // want `no le="\+Inf" bucket`
 	fmt.Fprintln(w, "# TYPE app_lat_seconds histogram")
 	fmt.Fprintf(w, "app_lat_seconds_bucket{le=\"1\"} %d\n", lat)
 	fmt.Fprintf(w, "app_lat_seconds_sum %d\n", lat)
 	fmt.Fprintf(w, "app_lat_seconds_count %d\n", lat)
-	fmt.Fprintf(w, "app_lat_seconds{quantile=\"0.99\"} %d\n", lat)
+	fmt.Fprintf(w, "app_lat_seconds{quantile=\"0.99\"} %d\n", lat) // want `emits a bare sample line`
+
+	fmt.Fprintln(w, "# HELP app_ok_seconds A fully well-formed histogram.")
+	fmt.Fprintln(w, "# TYPE app_ok_seconds histogram")
+	fmt.Fprintf(w, "app_ok_seconds_bucket{le=\"0.1\"} %d\n", lat)
+	fmt.Fprintf(w, "app_ok_seconds_bucket{le=\"1\"} %d\n", lat)
+	fmt.Fprintf(w, "app_ok_seconds_bucket{le=\"+Inf\"} %d\n", lat)
+	fmt.Fprintf(w, "app_ok_seconds_sum %d\n", lat)
+	fmt.Fprintf(w, "app_ok_seconds_count %d\n", lat)
+
+	fmt.Fprintln(w, "# HELP app_nole_seconds A bucket without its le label.")
+	fmt.Fprintln(w, "# TYPE app_nole_seconds histogram")
+	fmt.Fprintf(w, "app_nole_seconds_bucket{code=%q} %d\n", "200", lat) // want `has no le label`
+	fmt.Fprintf(w, "app_nole_seconds_bucket{le=\"+Inf\"} %d\n", lat)
+	fmt.Fprintf(w, "app_nole_seconds_sum %d\n", lat)
+	fmt.Fprintf(w, "app_nole_seconds_count %d\n", lat)
+
+	fmt.Fprintln(w, "# HELP app_partial_seconds A histogram missing series.") // want `missing its _sum, _count series`
+	fmt.Fprintln(w, "# TYPE app_partial_seconds histogram")
+	fmt.Fprintf(w, "app_partial_seconds_bucket{le=\"+Inf\"} %d\n", lat)
+
+	fmt.Fprintln(w, "# HELP app_ooo_seconds Buckets out of ascending le order.")
+	fmt.Fprintln(w, "# TYPE app_ooo_seconds histogram")
+	fmt.Fprint(w, "app_ooo_seconds_bucket{le=\"5\"} 1\napp_ooo_seconds_bucket{le=\"1\"} 2\napp_ooo_seconds_bucket{le=\"+Inf\"} 3\n") // want `buckets out of order`
+	fmt.Fprintf(w, "app_ooo_seconds_sum %d\n", lat)
+	fmt.Fprintf(w, "app_ooo_seconds_count %d\n", lat)
 
 	fmt.Fprintln(w, "# TYPE app_dup_total counter") // want `no # HELP line`
 	fmt.Fprintln(w, "# TYPE app_dup_total counter") // want `declared twice`

@@ -6,3 +6,4 @@ package metricreg
 
 // Referenced families: app_requests_total app_lat_seconds app_dup_total
 // app-bad-total app_weird_total app_notype_total app_ghost_total
+// app_ok_seconds app_nole_seconds app_partial_seconds app_ooo_seconds

@@ -33,7 +33,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.instrumented("sweep", s.handleSweep))
 	mux.HandleFunc("GET /healthz", s.instrumented("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrumented("metrics", s.handleMetrics))
-	return mux
+	return s.withRequestID(mux)
 }
 
 // instrumented wraps a handler with request accounting — in-flight
@@ -46,6 +46,7 @@ func (s *Service) instrumented(endpoint string, fn func(http.ResponseWriter, *ht
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now() //detlint:allow nondet request-latency instrumentation measures real wall time, never simulation state
 		s.met.requestStarted()
+		cw := &countingWriter{ResponseWriter: w}
 		code := http.StatusInternalServerError
 		defer func() {
 			if v := recover(); v != nil {
@@ -55,12 +56,12 @@ func (s *Service) instrumented(endpoint string, fn func(http.ResponseWriter, *ht
 				// response, the status line is gone and this write fails
 				// on the wire, but the accounting below still records
 				// the request as a 500.
-				writeErrorBody(w, http.StatusInternalServerError, "internal error")
+				writeErrorBody(cw, http.StatusInternalServerError, "internal error")
 			}
 			//detlint:allow nondet request-latency instrumentation measures real wall time, never simulation state
-			s.met.requestFinished(endpoint, code, time.Since(start).Seconds())
+			s.met.requestFinished(endpoint, code, time.Since(start).Seconds(), cw.bytes)
 		}()
-		code = fn(w, r)
+		code = fn(cw, r)
 	}
 }
 
@@ -68,6 +69,14 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) int {
 	var req SimulateRequest
 	if code := decodeBody(w, r, &req); code != 0 {
 		return code
+	}
+	if req.Trace {
+		body, err := s.SimulateTraced(r.Context(), req)
+		if err != nil {
+			return s.writeError(w, err)
+		}
+		w.Header().Set("X-Cache", "bypass")
+		return writeJSON(w, http.StatusOK, body)
 	}
 	body, status, err := s.Simulate(r.Context(), req)
 	if err != nil {

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -207,14 +208,161 @@ func TestMetricsEndpoint(t *testing.T) {
 		"simd_cache_entries 1",
 		"# TYPE simd_cache_bytes gauge",
 		"\nsimd_cache_bytes ",
-		"simd_request_latency_seconds_count 2",
-		`simd_request_latency_seconds{quantile="0.95"}`,
-		`simd_request_latency_seconds_bucket{le="+Inf"} 2`,
+		"# TYPE simd_build_info gauge",
+		`simd_build_info{goversion="go`,
+		"# TYPE simd_request_latency_seconds histogram",
+		`simd_request_latency_seconds_bucket{endpoint="simulate",le="+Inf"} 2`,
+		`simd_request_latency_seconds_count{endpoint="simulate"} 2`,
+		"# TYPE simd_response_bytes histogram",
+		`simd_response_bytes_bucket{endpoint="simulate",le="+Inf"} 2`,
+		`simd_response_bytes_count{endpoint="simulate"} 2`,
 		"simd_queue_depth 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q\n%s", want, text)
 		}
+	}
+}
+
+// TestMetricsExposition pins the wire details Prometheus scrapers
+// depend on: the versioned text content type, a trailing newline, and
+// ascending cumulative histogram buckets.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	postJSON(t, ts.URL+"/v1/simulate", fastPoint(1))
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if len(body) == 0 || body[len(body)-1] != '\n' {
+		t.Errorf("exposition does not end with a newline")
+	}
+	// Cumulative bucket counts never decrease within one family.
+	var prev int64 = -1
+	inLatency := false
+	for _, line := range strings.Split(string(body), "\n") {
+		switch {
+		case strings.HasPrefix(line, "simd_request_latency_seconds_bucket{"):
+			inLatency = true
+			var n int64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n); err != nil {
+				t.Fatalf("unparseable bucket line %q: %v", line, err)
+			}
+			if n < prev {
+				t.Errorf("bucket count decreased: %q after %d", line, prev)
+			}
+			prev = n
+		case inLatency:
+			inLatency = false
+		}
+	}
+	if prev < 0 {
+		t.Fatalf("no latency bucket lines in exposition:\n%s", body)
+	}
+}
+
+// TestRequestIDHeader checks that the daemon assigns an ID when the
+// client sends none, echoes a client-supplied one, and that two
+// assigned IDs differ.
+func TestRequestIDHeader(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	get := func(hdr string) string {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr != "" {
+			req.Header.Set(RequestIDHeader, hdr)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.Header.Get(RequestIDHeader)
+	}
+	a, b := get(""), get("")
+	if a == "" || b == "" {
+		t.Fatalf("assigned IDs empty: %q %q", a, b)
+	}
+	if a == b {
+		t.Fatalf("two requests got the same assigned ID %q", a)
+	}
+	if got := get("client-supplied-7"); got != "client-supplied-7" {
+		t.Fatalf("client ID not echoed: got %q", got)
+	}
+}
+
+func TestTracedSimulate(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	p := fastPoint(7)
+	p.Trace = true
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", p)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "bypass" {
+		t.Fatalf("X-Cache = %q, want bypass", got)
+	}
+	var tr struct {
+		K       int `json:"k"`
+		Results []struct {
+			MergedBlocks int64 `json:"merged_blocks"`
+		} `json:"results"`
+		Trace struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		} `json:"trace"`
+		TraceTruncated bool `json:"trace_truncated"`
+	}
+	if err := json.Unmarshal(body, &tr); err != nil {
+		t.Fatalf("bad traced body: %v", err)
+	}
+	if tr.K != 4 || len(tr.Results) != 1 || tr.Results[0].MergedBlocks != 160 {
+		t.Fatalf("result fields wrong under trace: %+v", tr)
+	}
+	if len(tr.Trace.TraceEvents) == 0 {
+		t.Fatalf("trace has no events")
+	}
+	if tr.TraceTruncated {
+		t.Fatalf("small run truncated its trace")
+	}
+
+	// The traced run populated the plain cache: the same point untraced
+	// is a hit with no trace in the body.
+	p.Trace = false
+	resp2, body2 := postJSON(t, ts.URL+"/v1/simulate", p)
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("untraced repeat X-Cache = %q, want hit", got)
+	}
+	if bytes.Contains(body2, []byte("traceEvents")) {
+		t.Fatalf("plain cached body leaked trace bytes: %s", body2)
+	}
+}
+
+func TestTracedSimulateRejectsTrials(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	p := fastPoint(7)
+	p.Trace = true
+	p.Trials = 3
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", p)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400; body %s", resp.StatusCode, body)
+	}
+}
+
+func TestSweepRejectsTrace(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	p := fastPoint(1)
+	p.Trace = true
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", SweepRequest{Points: []SimulateRequest{p}})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400; body %s", resp.StatusCode, body)
 	}
 }
 

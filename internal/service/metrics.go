@@ -3,24 +3,57 @@ package service
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sort"
 	"sync"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, spanning a
 // cached lookup (~µs) to a long sweep. Prometheus convention: each
-// bucket counts observations ≤ its bound; +Inf is implicit.
+// bucket counts observations ≤ its bound; +Inf closes the ladder.
 var latencyBuckets = []float64{
 	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05,
 	.1, .25, .5, 1, 2.5, 5, 10, 30, 60,
 }
 
+// sizeBuckets are the response-size upper bounds in bytes: an error
+// body is tens of bytes, a single-trial result ~1 KiB, a MaxPoints
+// sweep of MaxTrials trials hundreds of KiB.
+var sizeBuckets = []float64{
+	128, 512, 2048, 8192, 32768, 131072, 524288, 2097152,
+}
+
+// hist is one fixed-bucket histogram. Not self-locking: the owning
+// metrics mutex guards it.
+type hist struct {
+	buckets []float64 // upper bounds, ascending
+	counts  []int64   // parallel to buckets, non-cumulative
+	inf     int64
+	sum     float64
+	count   int64
+}
+
+func newHist(buckets []float64) *hist {
+	return &hist{buckets: buckets, counts: make([]int64, len(buckets))}
+}
+
+func (h *hist) observe(v float64) {
+	h.sum += v
+	h.count++
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.counts[i]++
+			return
+		}
+	}
+	h.inf++
+}
+
 // metrics is the daemon's instrumentation: request counters by endpoint
 // and status code, serving-path counters (cache, singleflight,
-// admission) and a request-latency histogram from which the p50/p95/p99
-// summary lines are interpolated. All methods are safe for concurrent
-// use; Prometheus text rendering takes the same lock, so a scrape sees
-// a consistent snapshot.
+// admission), and per-endpoint latency and response-size histograms.
+// All methods are safe for concurrent use; Prometheus text rendering
+// takes the same lock, so a scrape sees a consistent snapshot.
 type metrics struct {
 	mu sync.Mutex
 
@@ -34,10 +67,12 @@ type metrics struct {
 	timeouts    int64
 	panics      int64
 
-	latCounts []int64 // parallel to latencyBuckets
-	latInf    int64
-	latSum    float64
-	latCount  int64
+	latency map[string]*hist // per endpoint, seconds
+	size    map[string]*hist // per endpoint, response bytes
+
+	// Build identity, resolved once at startup.
+	goVersion string
+	version   string
 }
 
 // reqKey labels one requests-total series.
@@ -47,10 +82,25 @@ type reqKey struct {
 }
 
 func newMetrics() *metrics {
-	return &metrics{
+	m := &metrics{
 		requests:  make(map[reqKey]int64),
-		latCounts: make([]int64, len(latencyBuckets)),
+		latency:   make(map[string]*hist),
+		size:      make(map[string]*hist),
+		goVersion: "unknown",
+		version:   "unknown",
 	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		m.goVersion = bi.GoVersion
+		if bi.Main.Version != "" {
+			m.version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				m.version = s.Value
+			}
+		}
+	}
+	return m
 }
 
 func (m *metrics) requestStarted() {
@@ -60,21 +110,24 @@ func (m *metrics) requestStarted() {
 }
 
 // requestFinished records one completed request: its endpoint, HTTP
-// status code and wall-clock latency in seconds.
-func (m *metrics) requestFinished(endpoint string, code int, seconds float64) {
+// status code, wall-clock latency in seconds, and response body bytes.
+func (m *metrics) requestFinished(endpoint string, code int, seconds float64, bytes int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.inFlight--
 	m.requests[reqKey{endpoint, code}]++
-	m.latSum += seconds
-	m.latCount++
-	for i, ub := range latencyBuckets {
-		if seconds <= ub {
-			m.latCounts[i]++
-			return
-		}
+	lh := m.latency[endpoint]
+	if lh == nil {
+		lh = newHist(latencyBuckets)
+		m.latency[endpoint] = lh
 	}
-	m.latInf++
+	lh.observe(seconds)
+	sh := m.size[endpoint]
+	if sh == nil {
+		sh = newHist(sizeBuckets)
+		m.size[endpoint] = sh
+	}
+	sh.observe(float64(bytes))
 }
 
 func (m *metrics) addCacheHits(n int64)   { m.mu.Lock(); m.cacheHits += n; m.mu.Unlock() }
@@ -91,39 +144,29 @@ func (m *metrics) snapshot() (hits, misses, shared int64) {
 	return m.cacheHits, m.cacheMisses, m.dedupShared
 }
 
-// quantile interpolates the q-quantile (0 < q < 1) of the latency
-// histogram in seconds, Prometheus histogram_quantile style: linear
-// within the winning bucket. Returns 0 with no observations.
-func (m *metrics) quantileLocked(q float64) float64 {
-	if m.latCount == 0 {
-		return 0
+// sortedEndpoints returns the keys of a per-endpoint histogram map in
+// deterministic order, so consecutive scrapes diff cleanly.
+func sortedEndpoints(hs map[string]*hist) []string {
+	eps := make([]string, 0, len(hs))
+	for ep := range hs {
+		eps = append(eps, ep)
 	}
-	rank := q * float64(m.latCount)
-	var cum int64
-	lower := 0.0
-	for i, ub := range latencyBuckets {
-		prev := cum
-		cum += m.latCounts[i]
-		if float64(cum) >= rank {
-			if m.latCounts[i] == 0 {
-				return ub
-			}
-			frac := (rank - float64(prev)) / float64(m.latCounts[i])
-			return lower + frac*(ub-lower)
-		}
-		lower = ub
-	}
-	// The quantile falls in the +Inf bucket; report the largest finite
-	// bound, the conventional floor for an unbounded tail.
-	return latencyBuckets[len(latencyBuckets)-1]
+	sort.Strings(eps)
+	return eps
 }
 
-// writePrometheus renders the Prometheus text exposition format.
-// queueDepth, cacheEntries and cacheBytes are sampled by the caller at
-// scrape time (they live in the gate and the LRU, not here).
+// writePrometheus renders the Prometheus text exposition format
+// (version 0.0.4). queueDepth, cacheEntries and cacheBytes are sampled
+// by the caller at scrape time (they live in the gate and the LRU, not
+// here). Every family ends its last sample line with a newline, as the
+// format requires.
 func (m *metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int, cacheBytes int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP simd_build_info Build identity of the running daemon; the value is always 1.")
+	fmt.Fprintln(w, "# TYPE simd_build_info gauge")
+	fmt.Fprintf(w, "simd_build_info{goversion=%q,version=%q} 1\n", m.goVersion, m.version)
 
 	fmt.Fprintln(w, "# HELP simd_requests_total Completed HTTP requests by endpoint and status code.")
 	fmt.Fprintln(w, "# TYPE simd_requests_total counter")
@@ -175,18 +218,33 @@ func (m *metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int, cac
 	fmt.Fprintln(w, "# TYPE simd_queue_depth gauge")
 	fmt.Fprintf(w, "simd_queue_depth %d\n", queueDepth)
 
-	fmt.Fprintln(w, "# HELP simd_request_latency_seconds Request latency.")
+	fmt.Fprintln(w, "# HELP simd_request_latency_seconds Request latency by endpoint.")
 	fmt.Fprintln(w, "# TYPE simd_request_latency_seconds histogram")
-	var cum int64
-	for i, ub := range latencyBuckets {
-		cum += m.latCounts[i]
-		fmt.Fprintf(w, "simd_request_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	for _, ep := range sortedEndpoints(m.latency) {
+		h := m.latency[ep]
+		var cum int64
+		for i, ub := range h.buckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "simd_request_latency_seconds_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, cum)
+		}
+		cum += h.inf
+		fmt.Fprintf(w, "simd_request_latency_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "simd_request_latency_seconds_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "simd_request_latency_seconds_count{endpoint=%q} %d\n", ep, h.count)
 	}
-	cum += m.latInf
-	fmt.Fprintf(w, "simd_request_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "simd_request_latency_seconds_sum %g\n", m.latSum)
-	fmt.Fprintf(w, "simd_request_latency_seconds_count %d\n", m.latCount)
-	for _, q := range []float64{0.5, 0.95, 0.99} {
-		fmt.Fprintf(w, "simd_request_latency_seconds{quantile=\"%g\"} %g\n", q, m.quantileLocked(q))
+
+	fmt.Fprintln(w, "# HELP simd_response_bytes Response body size by endpoint.")
+	fmt.Fprintln(w, "# TYPE simd_response_bytes histogram")
+	for _, ep := range sortedEndpoints(m.size) {
+		h := m.size[ep]
+		var cum int64
+		for i, ub := range h.buckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "simd_response_bytes_bucket{endpoint=%q,le=\"%g\"} %d\n", ep, ub, cum)
+		}
+		cum += h.inf
+		fmt.Fprintf(w, "simd_response_bytes_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum)
+		fmt.Fprintf(w, "simd_response_bytes_sum{endpoint=%q} %g\n", ep, h.sum)
+		fmt.Fprintf(w, "simd_response_bytes_count{endpoint=%q} %d\n", ep, h.count)
 	}
 }

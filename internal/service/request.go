@@ -47,6 +47,13 @@ type SimulateRequest struct {
 	// must be in ascending disk order, one per disk; invalid specs are a
 	// 400 with the validation text.
 	Faults []FaultRequest `json:"faults,omitempty"`
+
+	// Trace embeds a Chrome trace-event timeline of the run in the
+	// response. Traced requests bypass the result cache and singleflight
+	// (a cached or joined result has no trace to give), run their engine
+	// under the same admission gate, and require trials = 1. The plain
+	// result is still cached for later untraced requests.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // FaultRequest is the wire form of one disk's fault spec.

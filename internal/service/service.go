@@ -27,15 +27,18 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // Options configures a Service. Zero values take the documented
@@ -68,6 +71,14 @@ type Options struct {
 	// Workers caps the engine pool one admitted run fans out over
 	// (default GOMAXPROCS).
 	Workers int
+	// MaxTraceEvents caps the events recorded for one traced simulate
+	// request (default 200_000, ~a few MiB of response); past the cap
+	// the trace truncates rather than the response growing unbounded.
+	MaxTraceEvents int
+	// Logger, when non-nil, receives one structured line per HTTP
+	// request (see withRequestID). nil disables request logging;
+	// request IDs are assigned either way.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -95,6 +106,9 @@ func (o Options) withDefaults() Options {
 	if o.MaxPoints <= 0 {
 		o.MaxPoints = 512
 	}
+	if o.MaxTraceEvents <= 0 {
+		o.MaxTraceEvents = 200_000
+	}
 	return o
 }
 
@@ -106,6 +120,7 @@ type Service struct {
 	flights flightGroup
 	gate    *gate
 	met     *metrics
+	ids     *idSource
 
 	wg       sync.WaitGroup // detached engine executions
 	draining atomic.Bool
@@ -119,6 +134,7 @@ func New(opts Options) *Service {
 		cache: newLRU(o.CacheEntries, o.CacheBytes),
 		gate:  newGate(o.MaxConcurrent, o.MaxQueue),
 		met:   newMetrics(),
+		ids:   newIDSource(),
 	}
 }
 
@@ -176,6 +192,80 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) ([]byte, Ca
 	return b, status, err
 }
 
+// tracedResponse is the wire form of a traced simulate: the shared
+// result schema plus the Chrome trace-event document and a truncation
+// flag.
+type tracedResponse struct {
+	core.ResultJSON
+	Trace          json.RawMessage `json:"trace"`
+	TraceTruncated bool            `json:"trace_truncated,omitempty"`
+}
+
+// SimulateTraced serves one traced point. Tracing changes the serving
+// path deliberately:
+//
+//   - The result cache is bypassed on lookup — cached entries hold the
+//     plain result body, and a hit would mean no engine run and
+//     therefore no trace.
+//   - Singleflight is bypassed too: joining an in-flight untraced run
+//     would yield a result without a trace, and two traced requests
+//     cannot share one recorder. Each traced request runs its own
+//     engine, admitted through the same gate as everything else.
+//   - The plain result body (identical to an untraced run's — tracing
+//     is observation-only) is still added to the cache under the normal
+//     key, so the trace bytes never enter the cache.
+//
+// Trials > 1 is rejected: a trace records one replication's timeline.
+func (s *Service) SimulateTraced(ctx context.Context, req SimulateRequest) ([]byte, error) {
+	trials, err := s.trials(req.Trials)
+	if err != nil {
+		return nil, err
+	}
+	if trials != 1 {
+		return nil, badRequestf("trace requires trials = 1 (a trace is one replication's timeline)")
+	}
+	cfg, err := req.config()
+	if err != nil {
+		return nil, err
+	}
+	key, err := resultKey(cfg, trials)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.New(s.opts.MaxTraceEvents)
+	cfg.Trace = rec
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	if err := s.gate.acquire(ctx); err != nil {
+		if err == ErrOverloaded {
+			s.met.addShed()
+		}
+		return nil, err
+	}
+	defer s.gate.release()
+	s.met.addCacheMisses(1)
+	aggs, err := core.RunGridContext(ctx, []core.Config{cfg}, trials, 1)
+	if err != nil {
+		return nil, err
+	}
+	result := core.NewResultJSON(aggs[0])
+	if plain, err := json.Marshal(result); err == nil {
+		s.cache.add(key, plain)
+	}
+	var tb bytes.Buffer
+	if err := rec.WriteChrome(&tb); err != nil {
+		return nil, err
+	}
+	return json.Marshal(tracedResponse{
+		ResultJSON:     result,
+		Trace:          json.RawMessage(bytes.TrimRight(tb.Bytes(), "\n")),
+		TraceTruncated: rec.Truncated(),
+	})
+}
+
 // sweepResponse is the wire form of a sweep result: one shared-schema
 // result per requested point, in request order.
 type sweepResponse struct {
@@ -213,6 +303,9 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) ([]byte, int, int
 	for i, p := range req.Points {
 		if p.Trials != 0 {
 			return nil, 0, 0, badRequestf("points[%d]: set trials at the sweep level, not per point", i)
+		}
+		if p.Trace {
+			return nil, 0, 0, badRequestf("points[%d]: trace is not supported in sweeps; use /v1/simulate", i)
 		}
 		cfg, err := p.config()
 		if err != nil {

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -175,7 +176,12 @@ func TestAdmissionShedsWith429(t *testing.T) {
 func TestLoadMixedTraffic(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	svc := New(Options{CacheEntries: 256})
+	// Request logging on (to a discarded sink) so the slog path runs
+	// under -race with 64 concurrent clients.
+	svc := New(Options{
+		CacheEntries: 256,
+		Logger:       slog.New(slog.NewJSONHandler(io.Discard, nil)),
+	})
 	ts := httptest.NewServer(svc.Handler())
 
 	const (
