@@ -48,14 +48,16 @@ fuzz:
 bench:
 	go test -bench=. -benchmem ./...
 
-# Performance ledger: run the figure benches once each (they regenerate
-# whole panels; 1x keeps the run affordable) and the micro-benches at
-# full precision, then parse everything into BENCH_1.json. Commit the
-# file so optimization PRs carry their numbers.
+# Performance ledger: run the figure benches twice each (they
+# regenerate whole panels; 2x keeps the run affordable while averaging
+# out single-iteration jitter) and the micro-benches at full precision,
+# then parse everything into BENCH_2.json. Commit the file so
+# optimization PRs carry their numbers; compare ledgers with
+# `go run ./cmd/benchjson -compare BENCH_1.json BENCH_2.json`.
 bench-json:
-	{ go test -run '^$$' -bench '^Benchmark(Fig|All|Ablation|Ext|Anchor|Urn|TRMarkov)' -benchtime=1x . ; \
+	{ go test -run '^$$' -bench '^Benchmark(Fig|All|Ablation|Ext|Anchor|Urn|TRMarkov)' -benchtime=2x . ; \
 	  go test -run '^$$' -bench '^Benchmark(Kernel|Disk|Cache|LoserTree|Merge|Service)' -benchmem . ; } \
-	| go run ./cmd/benchjson -out BENCH_1.json
+	| go run ./cmd/benchjson -out BENCH_2.json
 
 # Run the simulation daemon on :8080 (see cmd/simd -h for flags).
 serve:

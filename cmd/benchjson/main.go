@@ -6,10 +6,13 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem . | benchjson -out BENCH_1.json
+//	go test -bench=. -benchmem . | benchjson -out BENCH_2.json
+//	benchjson -compare BENCH_1.json BENCH_2.json
 //
 // The emitted file is the repo's performance ledger: committed once per
-// optimization PR so regressions show up as diffs.
+// optimization PR so regressions show up as diffs. -compare renders the
+// before/after delta table between two ledgers (ns/op and allocs/op per
+// benchmark) and flags every regression beyond 10%.
 package main
 
 import (
@@ -17,7 +20,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -31,7 +36,24 @@ type entry struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default: stdout)")
+	compare := flag.Bool("compare", false, "compare two ledger files (args: before.json after.json) instead of parsing stdin")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two ledger files, got %d args", flag.NArg()))
+		}
+		before, err := readLedger(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		after, err := readLedger(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		writeComparison(os.Stdout, flag.Arg(0), flag.Arg(1), before, after)
+		return
+	}
 
 	results := make(map[string]entry)
 	sc := bufio.NewScanner(os.Stdin)
@@ -108,6 +130,106 @@ func parseLine(line string) (string, entry, bool) {
 		e.Metrics[unit] = v
 	}
 	return name, e, true
+}
+
+// readLedger loads one benchmark ledger previously written by -out.
+func readLedger(path string) (map[string]entry, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var results map[string]entry
+	if err := json.Unmarshal(buf, &results); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return results, nil
+}
+
+// regressionThreshold is the relative slowdown (ns/op) or allocation
+// growth (allocs/op) beyond which a delta is flagged as a regression.
+const regressionThreshold = 0.10
+
+// writeComparison renders the before/after delta table between two
+// ledgers: one row per benchmark present in either file, with ns/op and
+// allocs/op side by side and the relative time delta. Rows whose time
+// or allocation count regressed by more than regressionThreshold are
+// flagged; the flagged count is summarized on the last line.
+func writeComparison(w io.Writer, beforePath, afterPath string, before, after map[string]entry) {
+	names := make([]string, 0, len(before)+len(after))
+	seen := make(map[string]bool, len(before)+len(after))
+	for n := range before {
+		names = append(names, n)
+		seen[n] = true
+	}
+	for n := range after {
+		if !seen[n] {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "benchmark comparison: %s -> %s (flagging >%.0f%% regressions)\n",
+		beforePath, afterPath, regressionThreshold*100)
+	fmt.Fprintf(w, "%-32s %14s %14s %9s %12s %12s  %s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "flags")
+	regressions := 0
+	for _, n := range names {
+		b, inBefore := before[n]
+		a, inAfter := after[n]
+		switch {
+		case !inBefore:
+			fmt.Fprintf(w, "%-32s %14s %14s %9s %12s %12s  added\n",
+				n, "-", fmtNs(a.NsPerOp), "-", "-", fmtAllocs(a, inAfter))
+			continue
+		case !inAfter:
+			fmt.Fprintf(w, "%-32s %14s %14s %9s %12s %12s  removed\n",
+				n, fmtNs(b.NsPerOp), "-", "-", fmtAllocs(b, inBefore), "-")
+			continue
+		}
+		var flags []string
+		delta := "-"
+		if b.NsPerOp > 0 {
+			rel := (a.NsPerOp - b.NsPerOp) / b.NsPerOp
+			delta = fmt.Sprintf("%+.1f%%", rel*100)
+			if rel > regressionThreshold {
+				flags = append(flags, "TIME-REGRESSION")
+			}
+		}
+		ba, bok := b.Metrics["allocs/op"]
+		aa, aok := a.Metrics["allocs/op"]
+		if bok && aok && aa > ba && (ba == 0 || (aa-ba)/ba > regressionThreshold) {
+			flags = append(flags, "ALLOC-REGRESSION")
+		}
+		if len(flags) > 0 {
+			regressions++
+		}
+		fmt.Fprintf(w, "%-32s %14s %14s %9s %12s %12s  %s\n",
+			n, fmtNs(b.NsPerOp), fmtNs(a.NsPerOp), delta,
+			fmtAllocs(b, inBefore), fmtAllocs(a, inAfter), strings.Join(flags, ","))
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) regressed beyond %.0f%%\n", regressions, regressionThreshold*100)
+	} else {
+		fmt.Fprintln(w, "no regressions beyond threshold")
+	}
+}
+
+func fmtNs(v float64) string {
+	if v >= 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func fmtAllocs(e entry, present bool) string {
+	if !present {
+		return "-"
+	}
+	v, ok := e.Metrics["allocs/op"]
+	if !ok {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
 }
 
 func fatal(err error) {

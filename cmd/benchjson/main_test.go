@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseLine(t *testing.T) {
 	name, e, ok := parseLine("BenchmarkKernelEvents-8  \t 97561804\t        11.88 ns/op\t       0 B/op\t       0 allocs/op")
@@ -42,5 +45,53 @@ func TestParseLineRejectsNoise(t *testing.T) {
 		if _, _, ok := parseLine(line); ok {
 			t.Fatalf("noise accepted: %q", line)
 		}
+	}
+}
+
+func TestWriteComparison(t *testing.T) {
+	before := map[string]entry{
+		"DiskRequest":   {Iterations: 100, NsPerOp: 3000, Metrics: map[string]float64{"allocs/op": 7}},
+		"KernelEvents":  {Iterations: 100, NsPerOp: 100, Metrics: map[string]float64{"allocs/op": 0}},
+		"MergeOldShape": {Iterations: 10, NsPerOp: 500},
+		"Slowed":        {Iterations: 10, NsPerOp: 100, Metrics: map[string]float64{"allocs/op": 0}},
+	}
+	after := map[string]entry{
+		"DiskRequest":  {Iterations: 100, NsPerOp: 60, Metrics: map[string]float64{"allocs/op": 0}},
+		"KernelEvents": {Iterations: 100, NsPerOp: 101, Metrics: map[string]float64{"allocs/op": 0}},
+		"Slowed":       {Iterations: 10, NsPerOp: 150, Metrics: map[string]float64{"allocs/op": 2}},
+		"NewBench":     {Iterations: 10, NsPerOp: 42, Metrics: map[string]float64{"allocs/op": 1}},
+	}
+	var sb strings.Builder
+	writeComparison(&sb, "BENCH_1.json", "BENCH_2.json", before, after)
+	out := sb.String()
+
+	for _, want := range []string{
+		"DiskRequest", "-98.0%", // the improvement row, unflagged
+		"NewBench", "added",
+		"MergeOldShape", "removed",
+		"TIME-REGRESSION", "ALLOC-REGRESSION", // Slowed: +50% time, 0 -> 2 allocs
+		"1 benchmark(s) regressed beyond 10%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "DiskRequest") && strings.Contains(out, "DiskRequest   ") {
+		line := out[strings.Index(out, "DiskRequest"):]
+		line = line[:strings.Index(line, "\n")]
+		if strings.Contains(line, "REGRESSION") {
+			t.Errorf("improvement row wrongly flagged: %s", line)
+		}
+	}
+}
+
+func TestWriteComparisonNoRegressions(t *testing.T) {
+	ledger := map[string]entry{
+		"A": {Iterations: 1, NsPerOp: 100, Metrics: map[string]float64{"allocs/op": 3}},
+	}
+	var sb strings.Builder
+	writeComparison(&sb, "a.json", "b.json", ledger, ledger)
+	if !strings.Contains(sb.String(), "no regressions beyond threshold") {
+		t.Errorf("identical ledgers should report no regressions:\n%s", sb.String())
 	}
 }

@@ -152,6 +152,16 @@ func (c *Cache) Deposit(r, idx int) {
 	if idx < rs.nextAvail {
 		panic(fmt.Sprintf("cache: run %d block %d deposited twice (nextAvail=%d)", r, idx, rs.nextAvail))
 	}
+	// Fast path: in-order arrival with no out-of-order backlog — the
+	// overwhelmingly common case under contiguous placement — touches no
+	// map at all.
+	if idx == rs.nextAvail && len(rs.arrived) == 0 {
+		rs.nextAvail++
+		c.reserved--
+		c.resident++
+		c.deposits++
+		return
+	}
 	if rs.arrived[idx] {
 		panic(fmt.Sprintf("cache: run %d block %d deposited twice", r, idx))
 	}

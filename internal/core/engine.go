@@ -39,8 +39,27 @@ type engine struct {
 	active     []int
 	activePos  []int
 
-	// runArrival[r] is broadcast whenever a block of run r is deposited.
+	// runArrival[r] is broadcast whenever a block of run r is deposited
+	// (process engine only; the event machine watches arrivals directly).
 	runArrival []*sim.Signal
+
+	// m is the event-mode merge state machine (nil under EngineProcess).
+	m *machine
+
+	// Reusable planning buffers: one I/O decision is made per demand
+	// miss, and planFetch runs entirely inside them so the steady state
+	// allocates nothing. picked and inSet are cleared after every use.
+	nominees []piece
+	batchBuf []piece
+	eligible []int
+	picked   []bool
+	inSet    []bool
+	extBuf   []layout.Extent
+
+	// Pooled in-flight request wrappers for the event-mode zero-alloc
+	// submit paths (see machine.go).
+	fetchFree []*fetchWrap
+	writeFree []*writeWrap
 
 	// Disk-concurrency accounting.
 	busyCount    int
@@ -77,7 +96,12 @@ func Run(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	e.k.Spawn("cpu", e.cpu)
+	if CurrentEngineMode() == EngineProcess {
+		e.k.Spawn("cpu", e.cpu)
+	} else {
+		e.m = newMachine(e)
+		e.m.start()
+	}
 	if cfg.MaxSimTime > 0 {
 		if err := e.k.RunUntil(cfg.MaxSimTime); err != nil {
 			return Result{}, e.runError(err)
@@ -153,6 +177,12 @@ func newEngine(cfg Config) (*engine, error) {
 		active:     make([]int, cfg.K),
 		activePos:  make([]int, cfg.K),
 		runArrival: make([]*sim.Signal, cfg.K),
+		nominees:   make([]piece, 0, cfg.D+1),
+		batchBuf:   make([]piece, 0, cfg.D+1),
+		eligible:   make([]int, 0, cfg.K),
+		picked:     make([]bool, cfg.K),
+		inSet:      make([]bool, cfg.K),
+		extBuf:     make([]layout.Extent, 0, cfg.D),
 	}
 	e.stallHist = stats.NewHistogram(0, 200, 400) // per-miss stall, ms
 	e.curN = cfg.N
@@ -319,23 +349,28 @@ func (e *engine) fetchAndWait(p *sim.Proc, j int) {
 	e.cfg.Trace.CPUSpan(trace.CPUStall, start, p.Now())
 }
 
-// issueFetch performs one I/O decision for demand run j: it sizes the
-// batch against the cache, reserves space, and submits per-disk
-// requests. It returns the Done completions of all submitted requests.
-func (e *engine) issueFetch(j int) []*sim.Completion {
+// piece is one run's share of a fetch batch.
+type piece struct {
+	run int
+	n   int
+}
+
+// planFetch performs one I/O decision for demand run j: it nominates a
+// piece per disk (inter-run mode), sizes the batch against the cache's
+// admission policy, and returns the trimmed batch. The result aliases
+// the engine's reusable planning buffers and is valid until the next
+// call. Both engine modes share it, so a decision is bit-for-bit the
+// same under either.
+func (e *engine) planFetch(j int) []piece {
 	e.decisions++
 	depth := e.curN
 	e.sumDepth += int64(depth)
 
-	type piece struct {
-		run int
-		n   int
-	}
 	wantJ := min(depth, e.remainingToFetch(j))
 	if wantJ <= 0 {
 		panic(fmt.Sprintf("core: demand fetch on exhausted run %d", j))
 	}
-	pieces := []piece{{j, wantJ}}
+	nominees := append(e.nominees[:0], piece{j, wantJ})
 	want := wantJ
 
 	if e.cfg.InterRun {
@@ -343,21 +378,23 @@ func (e *engine) issueFetch(j int) []*sim.Completion {
 		// Under striped placement every run is resident on every disk,
 		// so two disks could nominate the same run; picked prevents a
 		// run from entering the batch twice.
-		picked := map[int]bool{j: true}
+		e.picked[j] = true
 		for d := 0; d < e.cfg.D; d++ {
 			if d == home {
 				continue
 			}
-			r := e.choosePrefetchRun(d, picked)
+			r := e.choosePrefetchRun(d)
 			if r < 0 {
 				continue
 			}
-			picked[r] = true
+			e.picked[r] = true
 			n := min(depth, e.remainingToFetch(r))
-			pieces = append(pieces, piece{r, n})
+			nominees = append(nominees, piece{r, n})
 			want += n
 		}
 	}
+	e.nominees = nominees
+	batch := nominees
 
 	adm := e.cfg.Admission.Admit(e.cache, want)
 	if adm.Full {
@@ -369,23 +406,35 @@ func (e *engine) issueFetch(j int) []*sim.Completion {
 		// the demand block alone; greedy keeps the demand run's piece
 		// first and then fills the others in order with what fits.
 		budget := adm.Blocks
-		trimmed := pieces[:0]
-		for i := range pieces {
+		batch = e.batchBuf[:0]
+		for i := range nominees {
 			if budget == 0 {
 				break
 			}
-			n := min(pieces[i].n, budget)
+			n := min(nominees[i].n, budget)
 			if i == 0 && adm.Blocks < wantJ {
 				n = min(n, adm.Blocks) // demand piece may shrink below N
 			}
-			trimmed = append(trimmed, piece{pieces[i].run, n})
+			batch = append(batch, piece{nominees[i].run, n})
 			budget -= n
 		}
-		pieces = trimmed
+		e.batchBuf = batch
 	}
 
+	if e.cfg.InterRun {
+		for _, pc := range nominees {
+			e.picked[pc.run] = false
+		}
+	}
+	return batch
+}
+
+// issueFetch plans and submits the batch for demand run j on the
+// process engine's completion-latch path. It returns the Done
+// completions of all submitted requests.
+func (e *engine) issueFetch(j int) []*sim.Completion {
 	var completions []*sim.Completion
-	for _, pc := range pieces {
+	for _, pc := range e.planFetch(j) {
 		if !e.cache.Reserve(pc.n) {
 			// Unreachable by construction: admission just checked space,
 			// and the merge loop freed the demand block's slot first.
@@ -429,19 +478,20 @@ func (e *engine) homeDiskOf(r int) int {
 	if next >= e.lay.RunLength(r) {
 		next = e.lay.RunLength(r) - 1
 	}
-	return e.lay.Extents(r, next, 1)[0].Disk
+	return e.lay.DiskOf(r, next)
 }
 
 // choosePrefetchRun picks the run to prefetch on disk d per the
-// configured policy, or -1 if no eligible run exists. Runs in picked
+// configured policy, or -1 if no eligible run exists. Runs in e.picked
 // (the demand run and runs already in this batch) are never chosen.
-func (e *engine) choosePrefetchRun(d int, picked map[int]bool) int {
-	var eligible []int
+func (e *engine) choosePrefetchRun(d int) int {
+	eligible := e.eligible[:0]
 	for _, r := range e.lay.RunsOnDisk(d) {
-		if !picked[r] && e.remainingToFetch(r) > 0 {
+		if !e.picked[r] && e.remainingToFetch(r) > 0 {
 			eligible = append(eligible, r)
 		}
 	}
+	e.eligible = eligible
 	if len(eligible) == 0 {
 		return -1
 	}
@@ -466,18 +516,25 @@ func (e *engine) choosePrefetchRun(d int, picked map[int]bool) int {
 			// The first future depletion naming an eligible run is the
 			// most urgent prefetch this disk can make.
 			const horizon = 4096
-			inSet := make(map[int]bool, len(eligible))
 			for _, r := range eligible {
-				inSet[r] = true
+				e.inSet[r] = true
 			}
+			found := -1
 			for i := 0; i < horizon; i++ {
 				r, ok := la.Peek(i)
 				if !ok {
 					break
 				}
-				if inSet[r] {
-					return r
+				if e.inSet[r] {
+					found = r
+					break
 				}
+			}
+			for _, r := range eligible {
+				e.inSet[r] = false
+			}
+			if found >= 0 {
+				return found
 			}
 		}
 		return eligible[e.pick.Intn(len(eligible))]

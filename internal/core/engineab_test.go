@@ -1,0 +1,281 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/disk"
+	"repro/internal/faults"
+	"repro/internal/layout"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// withEngineMode runs fn under the given mode and restores the default.
+func withEngineMode(t *testing.T, m EngineMode, fn func()) {
+	t.Helper()
+	SetEngineMode(m)
+	defer SetEngineMode(EngineEvent)
+	fn()
+}
+
+// abConfigs is the config matrix the event core is checked against the
+// process oracle on: every synchronization mode, placement, queue
+// discipline, rotational model, run policy, admission policy, writer
+// mode, fault flavour, and workload family the engine branches on.
+func abConfigs() map[string]Config {
+	small := func() Config {
+		cfg := Default()
+		cfg.K, cfg.D, cfg.BlocksPerRun = 8, 4, 60
+		cfg.CacheBlocks = cfg.DefaultCache()
+		return cfg
+	}
+	cfgs := map[string]Config{}
+
+	cfgs["no-prefetch"] = small()
+
+	c := small()
+	c.N = 4
+	c.Synchronized = true
+	c.CacheBlocks = c.DefaultCache()
+	cfgs["intra-sync"] = c
+
+	c = small()
+	c.N = 4
+	c.CacheBlocks = c.DefaultCache()
+	cfgs["intra-unsync"] = c
+
+	c = small()
+	c.N = 3
+	c.InterRun = true
+	c.Synchronized = true
+	c.CacheBlocks = c.DefaultCache()
+	cfgs["inter-sync"] = c
+
+	c = small()
+	c.N = 3
+	c.InterRun = true
+	c.CacheBlocks = c.DefaultCache()
+	cfgs["inter-unsync"] = c
+
+	c = small()
+	c.N = 3
+	c.InterRun = true
+	c.Placement = layout.Striped
+	c.CacheBlocks = c.DefaultCache()
+	cfgs["striped"] = c
+
+	c = small()
+	c.N = 3
+	c.InterRun = true
+	c.Placement = layout.Clustered
+	c.RunPolicy = LeastBufferedRun
+	c.CacheBlocks = c.DefaultCache()
+	cfgs["clustered-least-buffered"] = c
+
+	c = small()
+	c.N = 3
+	c.InterRun = true
+	c.RunPolicy = RoundRobinRun
+	c.Disk.Discipline = disk.SSTF
+	c.CacheBlocks = c.DefaultCache()
+	cfgs["round-robin-sstf"] = c
+
+	c = small()
+	c.N = 4
+	c.Disk.Discipline = disk.SCAN
+	c.Disk.Rotational = disk.RotConstant
+	cfgs["scan-rot-constant"] = c
+
+	c = small()
+	c.N = 4
+	c.Disk.Rotational = disk.RotPositional
+	cfgs["rot-positional"] = c
+
+	c = small()
+	c.N = 5
+	c.InterRun = true
+	c.Admission = cache.Greedy
+	c.CacheBlocks = c.K*c.N/2 + c.K // tight: trims batches
+	cfgs["greedy-tight-cache"] = c
+
+	c = small()
+	c.N = 6
+	c.InterRun = true
+	c.AdaptiveN = true
+	c.CacheBlocks = c.K*c.N/2 + c.K
+	cfgs["adaptive-n"] = c
+
+	c = small()
+	c.N = 3
+	c.MergeTimePerBlock = sim.Ms(0.7)
+	cfgs["finite-cpu"] = c
+
+	c = small()
+	c.N = 3
+	c.Write = WriteConfig{Enabled: true, Disks: 2, BatchBlocks: 4, BufferBlocks: 10}
+	cfgs["write-separate"] = c
+
+	c = small()
+	c.N = 3
+	c.MergeTimePerBlock = sim.Ms(0.2)
+	c.Write = WriteConfig{Enabled: true, Shared: true}
+	cfgs["write-shared"] = c
+
+	c = small()
+	c.N = 3
+	c.Faults = &faults.Spec{Disks: []faults.DiskSpec{
+		{Disk: 0, Slowdown: 2.5, SlowdownAtMs: 200},
+		{Disk: 2, ReadErrorProb: 0.05, MaxRetries: 50},
+		{Disk: 3, Outages: []faults.Window{{StartMs: 100, EndMs: 400}}},
+	}}
+	cfgs["faulty-disks"] = c
+
+	c = small()
+	c.N = 3
+	c.InterRun = true
+	c.CacheBlocks = c.DefaultCache()
+	c.WorkloadFactory = func(trial int) workload.Model {
+		return &workload.Skewed{R: rng.New(uint64(trial) + 7), Theta: 0.8}
+	}
+	cfgs["skewed-workload"] = c
+
+	c = small()
+	c.N = 3
+	c.InterRun = true
+	c.RunPolicy = OracleRun
+	c.CacheBlocks = c.DefaultCache()
+	c.WorkloadFactory = func(trial int) workload.Model {
+		seq := make([]int, 2000)
+		for i := range seq {
+			seq[i] = (i*(trial+3) + i/7) % 8
+		}
+		return &workload.Sequence{Runs: seq}
+	}
+	cfgs["oracle-sequence"] = c
+
+	c = small()
+	c.N = 4
+	c.MaxSimTime = sim.Ms(1500) // cuts the merge short: partial results
+	cfgs["timed-out"] = c
+
+	return cfgs
+}
+
+// TestEngineModesByteIdentical runs the config matrix through the event
+// core and the legacy process engine and requires byte-equal ResultJSON
+// for every point: the two engines must be indistinguishable to any
+// consumer of results.
+func TestEngineModesByteIdentical(t *testing.T) {
+	for name, cfg := range abConfigs() {
+		t.Run(name, func(t *testing.T) {
+			var eventJSON, procJSON []byte
+			withEngineMode(t, EngineEvent, func() {
+				eventJSON = resultBytes(t, cfg)
+			})
+			withEngineMode(t, EngineProcess, func() {
+				procJSON = resultBytes(t, cfg)
+			})
+			if !bytes.Equal(eventJSON, procJSON) {
+				t.Fatalf("engine modes diverge:\nevent:   %s\nprocess: %s", eventJSON, procJSON)
+			}
+		})
+	}
+}
+
+func resultBytes(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	agg, err := RunTrials(cfg, 2)
+	if err != nil {
+		t.Fatalf("RunTrials: %v", err)
+	}
+	b, err := json.Marshal(NewResultJSON(agg))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// TestEngineModesTraceByteIdentical runs one traced, fault-injected,
+// writing merge under both engines and requires byte-equal Chrome and
+// CSV trace exports: the event machine must emit every span and
+// lifecycle mark at the instants the process engine does.
+func TestEngineModesTraceByteIdentical(t *testing.T) {
+	cfg := Default()
+	cfg.K, cfg.D, cfg.BlocksPerRun = 6, 3, 50
+	cfg.N = 3
+	cfg.InterRun = true
+	cfg.MergeTimePerBlock = sim.Ms(0.3)
+	cfg.Write = WriteConfig{Enabled: true, Disks: 1, BatchBlocks: 3, BufferBlocks: 9}
+	cfg.Faults = &faults.Spec{Disks: []faults.DiskSpec{
+		{Disk: 1, Slowdown: 2, SlowdownAtMs: 100, Outages: []faults.Window{{StartMs: 50, EndMs: 250}}},
+	}}
+	cfg.CacheBlocks = cfg.DefaultCache()
+
+	export := func() (chrome, csv string) {
+		c := cfg
+		c.Trace = trace.New(0)
+		if _, err := Run(c); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var cb, vb bytes.Buffer
+		if err := c.Trace.WriteChrome(&cb); err != nil {
+			t.Fatalf("WriteChrome: %v", err)
+		}
+		if err := c.Trace.WriteCSV(&vb); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		return cb.String(), vb.String()
+	}
+
+	var eventChrome, eventCSV, procChrome, procCSV string
+	withEngineMode(t, EngineEvent, func() { eventChrome, eventCSV = export() })
+	withEngineMode(t, EngineProcess, func() { procChrome, procCSV = export() })
+	if eventChrome != procChrome {
+		t.Errorf("chrome exports diverge between engine modes")
+	}
+	if eventCSV != procCSV {
+		t.Errorf("csv exports diverge between engine modes")
+	}
+}
+
+// TestEngineModesRequestLogIdentical replays the dispatch-level request
+// observer under both engines; the streams must match record for
+// record, which pins queue arrival order and service decomposition.
+func TestEngineModesRequestLogIdentical(t *testing.T) {
+	cfg := Default()
+	cfg.K, cfg.D, cfg.BlocksPerRun = 6, 3, 40
+	cfg.N = 3
+	cfg.InterRun = true
+	cfg.Write = WriteConfig{Enabled: true, Shared: true}
+	cfg.CacheBlocks = cfg.DefaultCache()
+
+	collect := func() []string {
+		var log []string
+		c := cfg
+		c.OnRequest = func(rt disk.RequestTrace) {
+			log = append(log, fmt.Sprintf("%+v", rt))
+		}
+		if _, err := Run(c); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return log
+	}
+
+	var eventLog, procLog []string
+	withEngineMode(t, EngineEvent, func() { eventLog = collect() })
+	withEngineMode(t, EngineProcess, func() { procLog = collect() })
+	if len(eventLog) != len(procLog) {
+		t.Fatalf("request counts diverge: event %d, process %d", len(eventLog), len(procLog))
+	}
+	for i := range eventLog {
+		if eventLog[i] != procLog[i] {
+			t.Fatalf("request %d diverges:\nevent:   %s\nprocess: %s", i, eventLog[i], procLog[i])
+		}
+	}
+}

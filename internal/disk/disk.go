@@ -107,10 +107,27 @@ type Disk struct {
 	rot    *rng.Stream
 
 	blocksPerCyl int
+	capBlocks    int
 	curCylinder  int
 	busy         bool
 	queue        []*Request
 	sweepDir     int // SCAN direction: +1 toward higher cylinders
+
+	// cur is the request in service; its block-delivery events read it
+	// through blockFns, a table of pre-built per-block-index thunks that
+	// is grown once and reused for every request, so steady-state
+	// dispatch schedules no fresh closures. Deliveries are chained — each
+	// block's event schedules the next from svcStart/svcBase/svcTpb — so
+	// the calendar holds one delivery event per disk instead of one per
+	// outstanding block.
+	cur      *Request
+	blockFns []func()
+	svcStart sim.Time // dispatch instant of cur
+	svcBase  sim.Time // seek + rotation + retries of cur
+	svcTpb   sim.Time // per-block transfer of cur (after slowdown)
+
+	// unparkFn resumes dispatch after an outage window; bound once.
+	unparkFn func()
 
 	stats Stats
 
@@ -143,14 +160,17 @@ func New(k *sim.Kernel, id int, params Params, rot *rng.Stream) (*Disk, error) {
 	if rot == nil {
 		return nil, fmt.Errorf("disk %d: nil rotation stream", id)
 	}
-	return &Disk{
+	d := &Disk{
 		id:           id,
 		k:            k,
 		params:       params,
 		rot:          rot,
 		blocksPerCyl: params.BlocksPerCylinder(),
+		capBlocks:    params.CapacityBlocks(),
 		sweepDir:     1,
-	}, nil
+	}
+	d.unparkFn = d.unpark
+	return d, nil
 }
 
 // ID returns the disk's identifier.
@@ -206,16 +226,31 @@ func (d *Disk) CylinderOf(block int) int { return block / d.blocksPerCyl }
 // Submit enqueues req and starts service if the disk is idle. It
 // initializes req.FirstDone and req.Done and returns req for chaining.
 func (d *Disk) Submit(req *Request) *Request {
+	req.FirstDone = d.k.NewCompletion()
+	req.Done = d.k.NewCompletion()
+	return d.enqueue(req)
+}
+
+// SubmitNoWait enqueues req without allocating completion latches: the
+// caller observes progress through OnBlock alone (req.FirstDone and
+// req.Done are nil). This is the zero-alloc path the event-mode engine
+// submits on; the request struct itself may be pooled and resubmitted
+// once its last OnBlock has fired.
+func (d *Disk) SubmitNoWait(req *Request) *Request {
+	req.FirstDone = nil
+	req.Done = nil
+	return d.enqueue(req)
+}
+
+func (d *Disk) enqueue(req *Request) *Request {
 	if req.Count <= 0 {
 		panic(fmt.Sprintf("disk %d: request with Count=%d", d.id, req.Count))
 	}
 	last := req.Start + req.Count - 1
-	if req.Start < 0 || last >= d.params.CapacityBlocks() {
+	if req.Start < 0 || last >= d.capBlocks {
 		panic(fmt.Sprintf("disk %d: request [%d, %d] outside capacity %d blocks",
-			d.id, req.Start, last, d.params.CapacityBlocks()))
+			d.id, req.Start, last, d.capBlocks))
 	}
-	req.FirstDone = d.k.NewCompletion()
-	req.Done = d.k.NewCompletion()
 	req.enqueuedAt = d.k.Now()
 	d.queue = append(d.queue, req)
 	if len(d.queue) > d.stats.MaxQueueLen {
@@ -326,12 +361,7 @@ func (d *Disk) startNext() {
 			d.parked = true
 			d.stats.OutageTime += wait
 			d.tr.DiskPhase(d.trTrack, trace.PhaseOutage, now, now+wait)
-			d.k.After(wait, func() {
-				d.parked = false
-				if !d.busy && len(d.queue) > 0 {
-					d.startNext()
-				}
-			})
+			d.k.After(wait, d.unparkFn)
 			return
 		}
 	}
@@ -407,24 +437,74 @@ func (d *Disk) startNext() {
 		})
 	}
 
+	// Deliveries are chained: only block 0's event is scheduled here and
+	// each delivery schedules its successor, keeping the calendar at one
+	// pending delivery per disk. Every instant is computed as
+	// now + (base + (i+1)*tpb) — the exact expression an up-front loop
+	// would use — so timestamps are bit-identical to scheduling all
+	// blocks at dispatch. Chaining preserves same-instant cross-disk
+	// ordering too: tied deliveries fire in seq order, and each fires
+	// before scheduling its successor, so successors inherit the same
+	// relative order at the next instant. The thunks read d.cur at fire
+	// time; only one request is ever in service, and d.cur is not
+	// cleared until its last block has been delivered.
+	//
+	// Degenerate zero-cost transfers (tpb <= 0) collapse all deliveries
+	// onto one instant, where chained events would interleave with
+	// unrelated same-instant work that an up-front schedule precedes;
+	// keep the up-front loop for that case so ordering is unchanged.
+	d.cur = req
+	d.growBlockFns(req.Count)
+	if tpb > 0 {
+		d.svcStart, d.svcBase, d.svcTpb = now, seek+rot+retryTime, tpb
+		d.k.At(now+(seek+rot+retryTime+sim.Time(1)*tpb), d.blockFns[0])
+		return
+	}
+	d.svcTpb = 0 // deliver must not chain for an up-front-scheduled request
 	for i := 0; i < req.Count; i++ {
+		d.k.After(seek+rot+retryTime+sim.Time(i+1)*tpb, d.blockFns[i])
+	}
+}
+
+// growBlockFns extends the delivery-thunk table to cover n blocks.
+func (d *Disk) growBlockFns(n int) {
+	for i := len(d.blockFns); i < n; i++ {
 		i := i
-		at := seek + rot + retryTime + sim.Time(i+1)*tpb
-		d.k.After(at, func() {
-			if req.OnBlock != nil {
-				req.OnBlock(i, d.k.Now())
-			}
-			if i == 0 {
-				req.FirstDone.Complete()
-			}
-			if i == req.Count-1 {
-				req.Done.Complete()
-				d.setBusy(false)
-				if len(d.queue) > 0 {
-					d.startNext()
-				}
-			}
-		})
+		d.blockFns = append(d.blockFns, func() { d.deliver(i) })
+	}
+}
+
+// deliver completes block i of the in-service request: per-block
+// callback, completion latches, and — after the last block — the next
+// dispatch.
+func (d *Disk) deliver(i int) {
+	req := d.cur
+	if i+1 < req.Count && d.svcTpb > 0 {
+		d.k.At(d.svcStart+(d.svcBase+sim.Time(i+2)*d.svcTpb), d.blockFns[i+1])
+	}
+	if req.OnBlock != nil {
+		req.OnBlock(i, d.k.Now())
+	}
+	if i == 0 && req.FirstDone != nil {
+		req.FirstDone.Complete()
+	}
+	if i == req.Count-1 {
+		if req.Done != nil {
+			req.Done.Complete()
+		}
+		d.cur = nil
+		d.setBusy(false)
+		if len(d.queue) > 0 {
+			d.startNext()
+		}
+	}
+}
+
+// unpark resumes dispatch when an outage window ends.
+func (d *Disk) unpark() {
+	d.parked = false
+	if !d.busy && len(d.queue) > 0 {
+		d.startNext()
 	}
 }
 

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestEngineModesRenderIdentical is the figure-level half of the
+// event-core equivalence contract (the config-matrix half lives in
+// internal/core): the full quick figure set, rendered once through the
+// event-driven engine and once through the legacy process engine, must
+// produce byte-identical CSVs and tables. The event core is an
+// optimization, never a model change.
+func TestEngineModesRenderIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick figure set under both engine modes")
+	}
+	specs := All()
+	run := func(m core.EngineMode) string {
+		core.SetEngineMode(m)
+		defer core.SetEngineMode(core.EngineEvent)
+		outs, err := RunAll(specs, Options{Trials: 1, Seed: 7, Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return render(t, outs)
+	}
+	event := run(core.EngineEvent)
+	proc := run(core.EngineProcess)
+	if event != proc {
+		t.Fatalf("figure output diverged between engine modes:\n%s", firstDiff(event, proc))
+	}
+}

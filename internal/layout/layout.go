@@ -184,6 +184,10 @@ func (l *Layout) Placement() Placement { return l.placement }
 // is striped over all disks.
 func (l *Layout) HomeDisk(r int) int { return l.runDisk[r] }
 
+// RunStart returns the disk block address where run r (or its stripe
+// base, for Striped) begins.
+func (l *Layout) RunStart(r int) int { return l.runStart[r] }
+
 // RunsOnDisk returns the runs resident on disk d. Callers must not
 // modify the returned slice.
 func (l *Layout) RunsOnDisk(d int) []int { return l.runsOnDisk[d] }
@@ -216,6 +220,13 @@ func (l *Layout) MaxBlocksOnDisk() int {
 // result is a single extent; for Striped up to D extents. It panics on
 // out-of-range coordinates, which always indicate an engine bug.
 func (l *Layout) Extents(r, from, n int) []Extent {
+	return l.AppendExtents(nil, r, from, n)
+}
+
+// AppendExtents is Extents appending into dst, so steady-state callers
+// can reuse one backing array across fetches instead of allocating a
+// slice per I/O decision.
+func (l *Layout) AppendExtents(dst []Extent, r, from, n int) []Extent {
 	if r < 0 || r >= len(l.runLen) {
 		panic(fmt.Sprintf("layout: run %d out of range", r))
 	}
@@ -223,15 +234,14 @@ func (l *Layout) Extents(r, from, n int) []Extent {
 		panic(fmt.Sprintf("layout: blocks [%d,%d) out of run range %d", from, from+n, l.runLen[r]))
 	}
 	if l.placement != Striped {
-		return []Extent{{
+		return append(dst, Extent{
 			Disk:    l.runDisk[r],
 			Start:   l.runStart[r] + from,
 			Count:   n,
 			FromIdx: from,
 			Stride:  1,
-		}}
+		})
 	}
-	var out []Extent
 	for dk := 0; dk < l.d; dk++ {
 		// Run r block b lives on disk (r+b) mod d at stripe offset b/d.
 		// The b in [from, from+n) landing on disk dk form an arithmetic
@@ -243,7 +253,7 @@ func (l *Layout) Extents(r, from, n int) []Extent {
 			continue
 		}
 		count := (from + n - first + l.d - 1) / l.d
-		out = append(out, Extent{
+		dst = append(dst, Extent{
 			Disk:    dk,
 			Start:   l.runStart[r] + first/l.d,
 			Count:   count,
@@ -251,5 +261,14 @@ func (l *Layout) Extents(r, from, n int) []Extent {
 			Stride:  l.d,
 		})
 	}
-	return out
+	return dst
+}
+
+// DiskOf returns the disk holding run r's idx-th block: the run's home
+// disk for contiguous placements, (r+idx) mod D under striping.
+func (l *Layout) DiskOf(r, idx int) int {
+	if l.placement != Striped {
+		return l.runDisk[r]
+	}
+	return (r + idx) % l.d
 }

@@ -92,3 +92,46 @@ func allowedLineAbove(m map[int]int, ch chan int) {
 		ch <- k
 	}
 }
+
+// --- Event-core idioms (the state-machine engine, PR "event-driven
+// engine core"). These pin the shapes the hot path relies on as
+// unflagged, and the shapes it must avoid as flagged.
+
+// Map membership probed from a deterministic cursor — the cache's
+// out-of-order arrival drain. Lookups and deletes at computed keys are
+// not iteration; never flagged.
+func mapCursorDrain(arrived map[int]bool) int {
+	next := 0
+	for arrived[next] {
+		delete(arrived, next)
+		next++
+	}
+	return next
+}
+
+// A method value bound once and re-scheduled for every step (the
+// machine's stepFn / a disk's unparkFn): deterministic, not flagged.
+type stepper struct {
+	n     int
+	calls []func()
+}
+
+func (s *stepper) step() { s.n++ }
+
+func bindOnce() *stepper {
+	s := &stepper{}
+	fn := s.step
+	s.calls = append(s.calls, fn, fn)
+	return s
+}
+
+// Fanning callbacks out of a map into an outer schedule leaks
+// iteration order into event order; the event core keys pending work
+// by integer index precisely to avoid this shape.
+func mapCallbackFanout(pending map[int]func()) []func() {
+	var schedule []func()
+	for _, fn := range pending {
+		schedule = append(schedule, fn) // want `map iteration order`
+	}
+	return schedule
+}

@@ -36,83 +36,133 @@ type event struct {
 	fn  func()
 }
 
+// ekey is an event's ordering key. The pending set stores keys and
+// callbacks in parallel arrays so ordering comparisons touch a dense
+// 16-byte-per-entry key array and moves copy a key and a pointer
+// instead of a 24-byte struct.
+type ekey struct {
+	at  Time
+	seq uint64
+}
+
 // before orders events by time, then by scheduling order.
-func (e event) before(o event) bool {
+func (k ekey) before(o ekey) bool {
 	//detlint:allow floatcmp event timestamps are copied, never recomputed, so tie-breaking on exact equality is sound
-	if e.at != o.at {
-		return e.at < o.at
+	if k.at != o.at {
+		return k.at < o.at
 	}
-	return e.seq < o.seq
+	return k.seq < o.seq
 }
 
 // calendar is the pending-event set, specialized to event so pushes and
 // pops never box through `any` or call through a heap.Interface. Two
 // structures back it:
 //
-//   - heap: an inline 4-ary min-heap on (at, seq). 4-ary beats binary
-//     here because sift-down touches one cache line of children per
-//     level and the tree is half as deep.
+//   - sorted: parallel key/callback arrays held ascending by (at, seq)
+//     with a read cursor. Chained block deliveries keep the pending set
+//     in the single digits (about one timed event per busy disk plus
+//     the merge's own timer), and at that size a sorted array beats any
+//     heap: pop is a cursor bump, and a push is usually a plain append
+//     because new events land later than everything already pending.
 //   - fifo: a ring of events scheduled AT the current instant while the
 //     clock already stands there. Wakers, signal broadcasts and
 //     completion callbacks all schedule at the current time (After(0)),
 //     which is the hottest path of a process-oriented simulation; those
-//     events append and pop in O(1) without disturbing the heap.
+//     events append and pop in O(1) without disturbing the sorted set.
 //
 // The fifo invariant: every buffered event has at == the clock's current
 // instant, and its seq is greater than any event pushed earlier. The
 // clock cannot advance while the fifo is non-empty (its events are never
-// later than any heap event), so the invariant is stable; ordering
-// between the fifo front and the heap top is decided by (at, seq) as it
-// would be in a single heap.
+// later than any sorted-set event), so the invariant is stable; ordering
+// between the fifo front and the sorted-set head is decided by (at, seq)
+// as it would be in a single queue.
 type calendar struct {
-	heap []event
-	fifo []event
-	head int // fifo read cursor
+	hkey  []ekey   // pending keys, ascending by (at, seq); live in [hhead:]
+	hfn   []func() // pending callbacks, parallel to hkey
+	hhead int      // sorted-set read cursor
+	fifo  []event
+	head  int // fifo read cursor
 }
 
-func (c *calendar) len() int { return len(c.heap) + len(c.fifo) - c.head }
+func (c *calendar) len() int { return len(c.hkey) - c.hhead + len(c.fifo) - c.head }
 
 // nextAt returns the timestamp of the earliest pending event. The fifo,
-// when non-empty, holds events at the current instant, which no heap
+// when non-empty, holds events at the current instant, which no timed
 // event can precede.
 func (c *calendar) nextAt() Time {
 	if c.head < len(c.fifo) {
 		return c.fifo[c.head].at
 	}
-	return c.heap[0].at
+	return c.hkey[c.hhead].at
 }
 
 // push inserts e scheduled from the current instant now. Same-instant
 // events take the fifo unless the ring holds events from another
 // instant (only possible after RunUntil rewound the clock to an earlier
-// horizon); those fall through to the heap, which orders anything.
+// horizon); those fall through to the sorted set, which orders anything.
 func (c *calendar) push(e event, now Time) {
 	//detlint:allow floatcmp same-instant FIFO admission compares copied timestamps; exact equality is the intended semantics
 	if e.at == now && (len(c.fifo) == c.head || c.fifo[len(c.fifo)-1].at == e.at) {
 		c.fifo = append(c.fifo, e)
 		return
 	}
-	c.heap = append(c.heap, event{})
-	i := len(c.heap) - 1
-	for i > 0 {
-		p := (i - 1) >> 2
-		if !e.before(c.heap[p]) {
-			break
-		}
-		c.heap[i] = c.heap[p]
-		i = p
+	if c.hhead > 32 && c.hhead > len(c.hkey)-c.hhead {
+		c.compact()
 	}
-	c.heap[i] = e
+	k := ekey{at: e.at, seq: e.seq}
+	kk := c.hkey
+	// Tail fast path: later than everything pending (the common case —
+	// handlers schedule their next event a service time into the future).
+	if n := len(kk); n == c.hhead || !k.before(kk[n-1]) {
+		c.hkey = append(kk, k)
+		c.hfn = append(c.hfn, e.fn)
+		return
+	}
+	// Head fast path: earlier than everything pending, with slack from
+	// earlier pops to absorb it without moving anything.
+	if c.hhead > 0 && k.before(kk[c.hhead]) {
+		c.hhead--
+		kk[c.hhead] = k
+		c.hfn[c.hhead] = e.fn
+		return
+	}
+	// General insert: scan from the tail and shift the later suffix up
+	// one slot. The pending set stays tiny, so the shift is a handful of
+	// element copies.
+	c.hkey = append(kk, ekey{})
+	c.hfn = append(c.hfn, nil)
+	kk, fns := c.hkey, c.hfn
+	i := len(kk) - 1
+	for i > c.hhead && k.before(kk[i-1]) {
+		kk[i] = kk[i-1]
+		fns[i] = fns[i-1]
+		i--
+	}
+	kk[i] = k
+	fns[i] = e.fn
+}
+
+// compact slides the live region down over the consumed prefix so the
+// backing arrays stop growing while the set merely turns over.
+func (c *calendar) compact() {
+	n := copy(c.hkey, c.hkey[c.hhead:])
+	copy(c.hfn, c.hfn[c.hhead:])
+	clear(c.hfn[n:]) // drop stale closure references
+	c.hkey = c.hkey[:n]
+	c.hfn = c.hfn[:n]
+	c.hhead = 0
 }
 
 // pop removes and returns the earliest pending event (ties broken by
 // schedule order). len() must be positive.
 func (c *calendar) pop() event {
 	if c.head < len(c.fifo) {
-		// The heap top can only precede the fifo front when both sit at
-		// the same instant and the heap event was scheduled earlier.
-		if len(c.heap) == 0 || c.fifo[c.head].before(c.heap[0]) {
-			e := c.fifo[c.head]
+		// The sorted-set head can only precede the fifo front when both
+		// sit at the same instant and the timed event was scheduled
+		// earlier.
+		f := &c.fifo[c.head]
+		if len(c.hkey) == c.hhead || (ekey{at: f.at, seq: f.seq}).before(c.hkey[c.hhead]) {
+			e := *f
 			c.head++
 			if c.head == len(c.fifo) {
 				// Drained: clear stale closure references and reuse the ring.
@@ -123,43 +173,22 @@ func (c *calendar) pop() event {
 			return e
 		}
 	}
-	return c.popHeap()
+	return c.popSorted()
 }
 
-func (c *calendar) popHeap() event {
-	h := c.heap
-	top := h[0]
-	n := len(h) - 1
-	last := h[n]
-	h[n] = event{} // drop the closure reference
-	h = h[:n]
-	c.heap = h
-	if n > 0 {
-		i := 0
-		for {
-			child := i<<2 + 1
-			if child >= n {
-				break
-			}
-			m := child
-			end := child + 4
-			if end > n {
-				end = n
-			}
-			for j := child + 1; j < end; j++ {
-				if h[j].before(h[m]) {
-					m = j
-				}
-			}
-			if !h[m].before(last) {
-				break
-			}
-			h[i] = h[m]
-			i = m
-		}
-		h[i] = last
+func (c *calendar) popSorted() event {
+	h := c.hhead
+	e := event{at: c.hkey[h].at, seq: c.hkey[h].seq, fn: c.hfn[h]}
+	c.hfn[h] = nil // drop the closure reference
+	h++
+	if h == len(c.hkey) {
+		// Drained: reuse the arrays from the start.
+		c.hkey = c.hkey[:0]
+		c.hfn = c.hfn[:0]
+		h = 0
 	}
-	return top
+	c.hhead = h
+	return e
 }
 
 // calendarPool recycles drained backing arrays across kernels: a sweep
@@ -170,11 +199,11 @@ var calendarPool = sync.Pool{New: func() any { return new(calendar) }}
 // release returns a drained calendar's storage to the pool. The arrays
 // were cleared as they drained, so no event closures are retained.
 func (c *calendar) release() {
-	if c.heap == nil && c.fifo == nil {
+	if c.hkey == nil && c.fifo == nil {
 		return
 	}
-	recycled := &calendar{heap: c.heap[:0], fifo: c.fifo[:0]}
-	c.heap, c.fifo, c.head = nil, nil, 0
+	recycled := &calendar{hkey: c.hkey[:0], hfn: c.hfn[:0], fifo: c.fifo[:0]}
+	c.hkey, c.hfn, c.hhead, c.fifo, c.head = nil, nil, 0, nil, 0
 	calendarPool.Put(recycled)
 }
 
@@ -209,6 +238,21 @@ func (k *Kernel) Now() Time { return k.now }
 
 // SetTracer installs t to observe kernel activity; nil disables tracing.
 func (k *Kernel) SetTracer(t Tracer) { k.trace = t }
+
+// Tracer returns the installed tracer, or nil.
+func (k *Kernel) Tracer() Tracer { return k.trace }
+
+// Retain registers an event-driven actor with the kernel's liveness
+// accounting. A retained actor counts exactly like a spawned process:
+// if the calendar drains while any actor is still retained, Run reports
+// ErrDeadlock instead of silently ending with work outstanding. State
+// machines dispatched directly on the calendar (the event-mode merge
+// engine) call Retain at start and Release when they reach a terminal
+// state.
+func (k *Kernel) Retain() { k.live++ }
+
+// Release undoes one Retain.
+func (k *Kernel) Release() { k.live-- }
 
 // At schedules fn to run at absolute time t. Scheduling in the past
 // panics: it would silently reorder the timeline.
