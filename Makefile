@@ -43,6 +43,7 @@ lint:
 FUZZTIME ?= 10s
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzDecodeSimulateRequest$$' -fuzztime $(FUZZTIME) ./internal/service
+	go test -run '^$$' -fuzz '^FuzzDecodeOptimizeRequest$$' -fuzztime $(FUZZTIME) ./internal/service
 	go test -run '^$$' -fuzz '^FuzzCanonicalJSONRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/core
 
 bench:
@@ -51,13 +52,14 @@ bench:
 # Performance ledger: run the figure benches twice each (they
 # regenerate whole panels; 2x keeps the run affordable while averaging
 # out single-iteration jitter) and the micro-benches at full precision,
-# then parse everything into BENCH_2.json. Commit the file so
-# optimization PRs carry their numbers; compare ledgers with
-# `go run ./cmd/benchjson -compare BENCH_1.json BENCH_2.json`.
+# then parse everything into BENCH_3.json. Commit the file so
+# optimization PRs carry their numbers; the compare step prints the
+# delta against the previous ledger and flags >10% regressions.
 bench-json:
 	{ go test -run '^$$' -bench '^Benchmark(Fig|All|Ablation|Ext|Anchor|Urn|TRMarkov)' -benchtime=2x . ; \
-	  go test -run '^$$' -bench '^Benchmark(Kernel|Disk|Cache|LoserTree|Merge|Service)' -benchmem . ; } \
-	| go run ./cmd/benchjson -out BENCH_2.json
+	  go test -run '^$$' -bench '^Benchmark(Kernel|Disk|Cache|LoserTree|Merge|Service|Optimize)' -benchmem . ; } \
+	| go run ./cmd/benchjson -out BENCH_3.json
+	go run ./cmd/benchjson -compare BENCH_2.json BENCH_3.json
 
 # Run the simulation daemon on :8080 (see cmd/simd -h for flags).
 serve:

@@ -332,3 +332,39 @@ func BenchmarkServiceSimulateCached(b *testing.B) {
 	b.StopTimer()
 	_ = svc.Drain(ctx)
 }
+
+// BenchmarkOptimizeSmallGrid runs one full small-grid configuration
+// search per iteration: 4 candidates (prefetch depth x strategy) over
+// a tiny merge, evaluated through the service's cache + singleflight
+// path. The template seed varies per iteration so every search is
+// cold — this prices the search harness plus four engine runs, the
+// worst case a /v1/optimize request pays. The cache-served metric
+// reports how much of the work the result cache absorbed across the
+// whole benchmark (revisit-free grids stay at 0 when cold).
+func BenchmarkOptimizeSmallGrid(b *testing.B) {
+	svc := benchService(b)
+	ctx := context.Background()
+	served, evals := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := service.OptimizeRequest{
+			Template: &service.SimulateRequest{K: 4, D: 2, BlocksPerRun: 40, Seed: uint64(i) + 1},
+			Space: service.OptimizeSpaceRequest{
+				N:           &service.DimensionRequest{Values: []int{1, 2}},
+				CacheBlocks: &service.DimensionRequest{Values: []int{0}},
+				Strategies:  []string{"intra-unsync", "inter-unsync"},
+			},
+		}
+		body, s, e, err := svc.Optimize(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		served += s
+		evals += e
+		_ = body
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(evals)/float64(b.N), "evals/op")
+	b.ReportMetric(float64(served)/float64(b.N), "cache-served/op")
+	_ = svc.Drain(ctx)
+}

@@ -1,0 +1,300 @@
+// Command optimize runs a black-box configuration search over the
+// merge-simulation engine and prints the optimum, the knee (cheapest
+// near-optimal point), and the search accounting. It can search
+// in-process — no daemon needed — or drive the /v1/optimize endpoint
+// of a running simd with -addr, in which case concurrent searches and
+// plain simulate traffic share evaluations through the daemon's
+// result cache.
+//
+// Dimensions accept either a comma list or a min:max[:step] range:
+//
+//	optimize -n 1,5,10,20 -strategies intra-unsync,inter-unsync
+//	optimize -d 1:10 -goal min_cost_per_block
+//	optimize -addr localhost:8080 -n 1:20:5 -algorithm anneal -opt-seed 7
+//
+// Output is a human-readable summary by default; -json dumps the full
+// response (including the trace) and -svg writes the search-trajectory
+// figure to a file.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr = flag.String("addr", "", "search via a running simd at host:port instead of in-process")
+
+		// Template: the fixed part of every candidate.
+		k         = flag.Int("k", 0, "template merge order (0 = paper default)")
+		d         = flag.Int("d", 0, "template disk count (0 = paper default)")
+		n         = flag.Int("n-fixed", 0, "template prefetch depth (0 = paper default)")
+		blocks    = flag.Int("blocks", 0, "template blocks per run (0 = paper default)")
+		seed      = flag.Uint64("seed", 0, "template simulation seed (0 = 1)")
+		interRun  = flag.Bool("inter-run", false, "template inter-run prefetching (overridden by -strategies)")
+		synced    = flag.Bool("synchronized", false, "template synchronized reads (overridden by -strategies)")
+		placement = flag.String("placement", "", "template placement (overridden by -placements)")
+
+		// Space: comma lists or min:max[:step] ranges; empty = pinned.
+		kDim       = flag.String("k-dim", "", "search k over these values")
+		dDim       = flag.String("d-dim", "", "search d over these values")
+		nDim       = flag.String("n", "", "search prefetch depth over these values")
+		cacheDim   = flag.String("cache", "", "search cache_blocks over these values (0 = natural, -1 = unlimited)")
+		strategies = flag.String("strategies", "", "comma list of prefetch strategies to search")
+		placements = flag.String("placements", "", "comma list of placements to search")
+
+		goal       = flag.String("goal", "", "objective: min_time, max_overlap or min_cost_per_block")
+		diskCost   = flag.Float64("disk-cost", 0, "cost units per disk (min_cost_per_block)")
+		ramCost    = flag.Float64("ram-cost", 0, "cost units per cache block (min_cost_per_block)")
+		baseCost   = flag.Float64("base-cost", 0, "fixed cost units per configuration (min_cost_per_block)")
+		maxSeconds = flag.Float64("max-seconds", 0, "constraint: reject candidates slower than this")
+		minSuccess = flag.Float64("min-success", 0, "constraint: reject candidates below this success ratio")
+
+		algorithm = flag.String("algorithm", "", "search algorithm: grid, coordinate or anneal")
+		optSeed   = flag.Uint64("opt-seed", 0, "search seed (anneal; 0 = 1)")
+		maxEvals  = flag.Int("max-evals", 0, "evaluation budget (0 = service default)")
+		temp      = flag.Float64("temp", 0, "anneal initial temperature (0 = default)")
+		cooling   = flag.Float64("cooling", 0, "anneal cooling factor (0 = default)")
+
+		trialsMin = flag.Int("trials-min", 0, "trials per evaluation before checking the CI (0 = 1)")
+		trialsMax = flag.Int("trials-max", 0, "trial escalation ceiling (0 = min)")
+		relCI     = flag.Float64("rel-ci95", 0, "stop escalating trials once CI95/mean falls below this")
+
+		jsonOut = flag.Bool("json", false, "print the full JSON response instead of the summary")
+		svgOut  = flag.String("svg", "", "write the search-trajectory figure (SVG) to this file")
+		timeout = flag.Duration("timeout", 5*time.Minute, "overall search budget")
+		workers = flag.Int("workers", 0, "engine pool size for in-process search (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	req := service.OptimizeRequest{Figure: *svgOut != ""}
+	if *k != 0 || *d != 0 || *n != 0 || *blocks != 0 || *seed != 0 ||
+		*interRun || *synced || *placement != "" {
+		req.Template = &service.SimulateRequest{
+			K: *k, D: *d, N: *n, BlocksPerRun: *blocks, Seed: *seed,
+			InterRun: *interRun, Synchronized: *synced, Placement: *placement,
+		}
+	}
+	req.Space = service.OptimizeSpaceRequest{
+		K:           parseDim("k-dim", *kDim),
+		D:           parseDim("d-dim", *dDim),
+		N:           parseDim("n", *nDim),
+		CacheBlocks: parseDim("cache", *cacheDim),
+		Strategies:  splitList(*strategies),
+		Placements:  splitList(*placements),
+	}
+	if *goal != "" || *diskCost != 0 || *ramCost != 0 || *baseCost != 0 {
+		req.Objective = &service.ObjectiveRequest{
+			Goal: *goal, DiskCost: *diskCost, RAMCostPerBlock: *ramCost, BaseCost: *baseCost,
+		}
+	}
+	if *maxSeconds != 0 || *minSuccess != 0 {
+		req.Constraints = &service.ConstraintsRequest{MaxSeconds: *maxSeconds, MinSuccess: *minSuccess}
+	}
+	if *algorithm != "" || *optSeed != 0 || *maxEvals != 0 || *temp != 0 || *cooling != 0 {
+		req.Search = &service.SearchRequest{
+			Algorithm: *algorithm, Seed: *optSeed, MaxEvaluations: *maxEvals,
+			Temp: *temp, Cooling: *cooling,
+		}
+	}
+	if *trialsMin != 0 || *trialsMax != 0 || *relCI != 0 {
+		req.Trials = &service.TrialPolicyRequest{Min: *trialsMin, Max: *trialsMax, RelCI95: *relCI}
+	}
+
+	var (
+		body []byte
+		err  error
+	)
+	if *addr != "" {
+		body, err = remote(*addr, req, *timeout)
+	} else {
+		body, err = local(req, *timeout, *workers)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if *svgOut != "" {
+		writeFigure(*svgOut, body)
+	}
+	if *jsonOut {
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, body, "", "  "); err != nil {
+			fail("bad response: %v", err)
+		}
+		fmt.Println(pretty.String())
+		return
+	}
+	summarize(body)
+}
+
+// local runs the search in-process through the same service path the
+// daemon uses, so cache reuse and admission behave identically.
+func local(req service.OptimizeRequest, timeout time.Duration, workers int) ([]byte, error) {
+	svc := service.New(service.Options{RequestTimeout: timeout, Workers: workers})
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	body, _, _, err := svc.Optimize(ctx, req)
+	return body, err
+}
+
+// remote posts the search to a running simd.
+func remote(addr string, req service.OptimizeRequest, timeout time.Duration) ([]byte, error) {
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Post("http://"+addr+"/v1/optimize", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return body, nil
+}
+
+// response mirrors the parts of the wire response the summary needs.
+type response struct {
+	Algorithm string `json:"algorithm"`
+	Goal      string `json:"goal"`
+	Seed      uint64 `json:"seed"`
+	Best      *entry `json:"best"`
+	Knee      *entry `json:"knee"`
+	Trace     []struct {
+		Status string `json:"status"`
+	} `json:"trace"`
+	Evaluations int    `json:"evaluations"`
+	CacheServed int    `json:"cache_served"`
+	Distinct    int    `json:"distinct_points"`
+	Truncated   bool   `json:"truncated"`
+	FigureSVG   string `json:"figure_svg"`
+}
+
+type entry struct {
+	Params    json.RawMessage `json:"params"`
+	Objective float64         `json:"objective"`
+	Seconds   float64         `json:"seconds"`
+	CostRate  float64         `json:"cost_rate"`
+	Trials    int             `json:"trials"`
+}
+
+func summarize(body []byte) {
+	var r response
+	if err := json.Unmarshal(body, &r); err != nil {
+		fail("bad response: %v", err)
+	}
+	fmt.Printf("algorithm    %s (seed %d)\n", r.Algorithm, r.Seed)
+	fmt.Printf("goal         %s\n", r.Goal)
+	fmt.Printf("evaluations  %d (%d cache-served, %d distinct points)\n",
+		r.Evaluations, r.CacheServed, r.Distinct)
+	if r.Truncated {
+		fmt.Println("truncated    search stopped at the evaluation budget")
+	}
+	infeasible := 0
+	for _, t := range r.Trace {
+		if t.Status != "ok" {
+			infeasible++
+		}
+	}
+	if infeasible > 0 {
+		fmt.Printf("skipped      %d infeasible or invalid points\n", infeasible)
+	}
+	if r.Best == nil {
+		fmt.Println("best         none (no feasible point in the space)")
+		return
+	}
+	fmt.Printf("best         %s\n", r.Best.Params)
+	fmt.Printf("             objective %.4g, %.2fs over %d trials\n",
+		r.Best.Objective, r.Best.Seconds, r.Best.Trials)
+	if r.Knee != nil {
+		fmt.Printf("knee         %s\n", r.Knee.Params)
+		fmt.Printf("             objective %.4g at cost rate %.3g\n",
+			r.Knee.Objective, r.Knee.CostRate)
+	}
+}
+
+func writeFigure(path string, body []byte) {
+	var r response
+	if err := json.Unmarshal(body, &r); err != nil {
+		fail("bad response: %v", err)
+	}
+	if r.FigureSVG == "" {
+		fail("response has no figure (no feasible optimum?)")
+	}
+	if err := os.WriteFile(path, []byte(r.FigureSVG), 0o644); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("figure       %s\n", path)
+}
+
+// parseDim parses a dimension spec: a comma list ("1,5,10") or a
+// min:max[:step] range ("1:20:5"). Empty means the dimension is
+// pinned at the template value.
+func parseDim(name, s string) *service.DimensionRequest {
+	if s == "" {
+		return nil
+	}
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		if len(parts) > 3 {
+			fail("-%s %q: want min:max or min:max:step", name, s)
+		}
+		nums := make([]int, len(parts))
+		for i, p := range parts {
+			nums[i] = parseInt(name, s, p)
+		}
+		d := &service.DimensionRequest{Min: nums[0], Max: nums[1]}
+		if len(nums) == 3 {
+			d.Step = nums[2]
+		}
+		return d
+	}
+	var vals []int
+	for _, p := range strings.Split(s, ",") {
+		vals = append(vals, parseInt(name, s, p))
+	}
+	return &service.DimensionRequest{Values: vals}
+}
+
+func parseInt(name, spec, s string) int {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil {
+		fail("-%s %q: %q is not an integer", name, spec, s)
+	}
+	return v
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "optimize: "+format+"\n", args...)
+	os.Exit(1)
+}

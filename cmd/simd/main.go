@@ -8,6 +8,7 @@
 //
 //	POST /v1/simulate  one configuration, aggregated over trials
 //	POST /v1/sweep     a batch of configurations in one admitted run
+//	POST /v1/optimize  black-box configuration search over a space
 //	GET  /healthz      liveness (503 while draining)
 //	GET  /metrics      Prometheus text format
 //
@@ -55,6 +56,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "shutdown budget for in-flight work")
 		maxTrials    = flag.Int("max-trials", 64, "max trials per request")
 		maxPoints    = flag.Int("max-points", 512, "max points per sweep")
+		maxOptEvals  = flag.Int("max-optimize-evals", 512, "max evaluations per configuration search")
 		workers      = flag.Int("workers", 0, "engine pool size per admitted run (0 = GOMAXPROCS)")
 		maxTraceEv   = flag.Int("max-trace-events", 0, "event cap per traced simulate request (0 = service default)")
 		logJSON      = flag.Bool("log-json", false, "emit one JSON log line per request on stderr")
@@ -68,16 +70,17 @@ func main() {
 	}
 
 	svc := service.New(service.Options{
-		CacheEntries:   *cacheEntries,
-		CacheBytes:     *cacheBytes,
-		MaxConcurrent:  *maxConc,
-		MaxQueue:       *maxQueue,
-		RequestTimeout: *timeout,
-		MaxTrials:      *maxTrials,
-		MaxPoints:      *maxPoints,
-		Workers:        *workers,
-		MaxTraceEvents: *maxTraceEv,
-		Logger:         logger,
+		CacheEntries:     *cacheEntries,
+		CacheBytes:       *cacheBytes,
+		MaxConcurrent:    *maxConc,
+		MaxQueue:         *maxQueue,
+		RequestTimeout:   *timeout,
+		MaxTrials:        *maxTrials,
+		MaxPoints:        *maxPoints,
+		MaxOptimizeEvals: *maxOptEvals,
+		Workers:          *workers,
+		MaxTraceEvents:   *maxTraceEv,
+		Logger:           logger,
 	})
 
 	// pprof gets its own listener and mux so profiling endpoints are

@@ -70,7 +70,50 @@ func main() {
 		fail("sweep returned %d points, want 4", len(sw.Points))
 	}
 
-	// 5. Metrics scrape.
+	// 5. A small configuration search: which prefetch depth and
+	// strategy minimize merge time for a k=8, D=2 merge? The space is
+	// 6 points, so the daemon answers in well under a second, and the
+	// trace records which evaluations were served from the cache.
+	opt := `{
+		"template":{"k":8,"d":2,"blocks_per_run":60},
+		"space":{
+			"n":{"values":[1,2,4]},
+			"strategies":["intra-unsync","inter-unsync"],
+			"cache_blocks":{"values":[0]}},
+		"trials":{"min":2}}`
+	var best struct {
+		Best *struct {
+			Params    json.RawMessage `json:"params"`
+			Objective float64         `json:"objective"`
+		} `json:"best"`
+		Knee *struct {
+			Params   json.RawMessage `json:"params"`
+			CostRate float64         `json:"cost_rate"`
+		} `json:"knee"`
+		Evaluations int `json:"evaluations"`
+		CacheServed int `json:"cache_served"`
+	}
+	status = post(client, base+"/v1/optimize", opt, &best)
+	if best.Best == nil {
+		fail("optimize returned no optimum")
+	}
+	fmt.Printf("optimize       %d evaluations, %d cache-served (X-Cache: %s)\n",
+		best.Evaluations, best.CacheServed, status)
+	fmt.Printf("  best  %s  (%.2fs)\n", best.Best.Params, best.Best.Objective)
+	if best.Knee != nil {
+		fmt.Printf("  knee  %s  (cost rate %.2f)\n", best.Knee.Params, best.Knee.CostRate)
+	}
+
+	// 6. The same search again: every evaluation must now come from the
+	// result cache.
+	post(client, base+"/v1/optimize", opt, &best)
+	if best.CacheServed < best.Evaluations {
+		fail("repeated optimize re-ran %d evaluations, want all %d cached",
+			best.Evaluations-best.CacheServed, best.Evaluations)
+	}
+	fmt.Printf("optimize again %d/%d cache-served\n", best.CacheServed, best.Evaluations)
+
+	// 7. Metrics scrape.
 	metrics := get(client, base+"/metrics")
 	for _, line := range strings.Split(metrics, "\n") {
 		if strings.HasPrefix(line, "simd_cache_") || strings.HasPrefix(line, "simd_requests_total") {

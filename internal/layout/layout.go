@@ -47,6 +47,22 @@ func (p Placement) String() string {
 	}
 }
 
+// ParsePlacement inverts String: it maps a placement name (the same
+// names the mergesim flags and the simd wire forms use) back to its
+// Placement, with "" meaning the paper's round-robin default.
+func ParsePlacement(name string) (Placement, error) {
+	switch name {
+	case "", "round-robin":
+		return RoundRobin, nil
+	case "clustered":
+		return Clustered, nil
+	case "striped":
+		return Striped, nil
+	default:
+		return 0, fmt.Errorf("layout: unknown placement %q (want round-robin, clustered or striped)", name)
+	}
+}
+
 // Extent is a contiguous span of blocks on one disk, covering the
 // run-relative block indices FromIdx, FromIdx+Stride, ... (Count of
 // them).

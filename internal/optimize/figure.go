@@ -1,0 +1,54 @@
+package optimize
+
+import (
+	"math"
+
+	"repro/internal/table"
+)
+
+// TrajectoryFigure renders a finished search as a figure: the
+// goal-natural objective of every evaluated point against its step
+// index, plus the running best — the visual answer to "was the search
+// converging or flailing?". Infeasible and invalid steps leave gaps in
+// the objective series (they have no objective) but still advance the
+// x axis, so search effort reads directly off the plot.
+func TrajectoryFigure(spec Spec, res *Result) *table.Figure {
+	spec = spec.withDefaults()
+	fig := &table.Figure{
+		ID:     "optimize",
+		Title:  "search trajectory (" + spec.Algorithm.String() + ", " + spec.Objective.Goal.String() + ")",
+		XLabel: "evaluation step",
+		YLabel: objectiveLabel(spec.Objective.Goal),
+	}
+	visited := fig.AddSeries("objective")
+	running := fig.AddSeries("best so far")
+	maximize := spec.Objective.Goal == MaxOverlap
+	best := math.Inf(1)
+	if maximize {
+		best = math.Inf(-1)
+	}
+	for _, e := range res.Trace {
+		if e.Status != StatusOK {
+			continue
+		}
+		visited.Point(float64(e.Step), e.Objective)
+		if maximize {
+			best = math.Max(best, e.Objective)
+		} else {
+			best = math.Min(best, e.Objective)
+		}
+		running.Point(float64(e.Step), best)
+	}
+	return fig
+}
+
+func objectiveLabel(g Goal) string {
+	switch g {
+	case MaxOverlap:
+		return "mean busy disks"
+	case MinCostPerBlock:
+		return "cost per sorted block"
+	default:
+		return "total merge time (s)"
+	}
+}

@@ -1,0 +1,110 @@
+package optimize
+
+import (
+	"math"
+	"sort"
+)
+
+// nearOptimalTolerance is the fallback knee rule: when the cost–
+// objective frontier is too small for the kneedle construction, the
+// knee is the cheapest point within 5% of the optimum.
+const nearOptimalTolerance = 0.05
+
+// entryScore recovers the internal minimized score from a trace entry.
+func entryScore(e TraceEntry, goal Goal) float64 {
+	if goal == MaxOverlap {
+		return -e.Objective
+	}
+	return e.Objective
+}
+
+// kneePoint finds the cheapest near-optimal point: the knee of the
+// cost-rate vs objective Pareto frontier, kneedle-style (the frontier
+// point farthest below the chord from its cheapest to its best end, in
+// normalized coordinates). It returns the knee's trace index, or -1
+// when no feasible point exists. bestIdx is the strict optimum's trace
+// index; the knee never costs more than the optimum.
+func kneePoint(trace []TraceEntry, goal Goal, bestIdx int) int {
+	// Unique feasible points, first visit wins (revisits carry the
+	// same values, so which one represents the point is cosmetic —
+	// first keeps the trace reference stable).
+	seen := make(map[string]bool)
+	var idxs []int
+	for i, e := range trace {
+		if e.Status != StatusOK || seen[e.Hash] {
+			continue
+		}
+		seen[e.Hash] = true
+		idxs = append(idxs, i)
+	}
+	if len(idxs) == 0 {
+		return -1
+	}
+	bestScore := entryScore(trace[bestIdx], goal)
+
+	// Sort by cost, then score, then trace order for full determinism.
+	sort.Slice(idxs, func(a, b int) bool {
+		ea, eb := trace[idxs[a]], trace[idxs[b]]
+		//detlint:allow floatcmp deterministic sort tie-break on values copied verbatim from the trace, not a tolerance decision
+		if ea.CostRate != eb.CostRate {
+			return ea.CostRate < eb.CostRate
+		}
+		sa, sb := entryScore(ea, goal), entryScore(eb, goal)
+		//detlint:allow floatcmp deterministic sort tie-break on values copied verbatim from the trace, not a tolerance decision
+		if sa != sb {
+			return sa < sb
+		}
+		return idxs[a] < idxs[b]
+	})
+
+	// Lower-left Pareto staircase: keep points that strictly improve
+	// the objective as cost rises.
+	var frontier []int
+	minScore := math.Inf(1)
+	for _, i := range idxs {
+		if s := entryScore(trace[i], goal); s < minScore {
+			frontier = append(frontier, i)
+			minScore = s
+		}
+	}
+
+	// Degenerate frontiers: pick the cheapest point near the optimum.
+	cheapestNear := func() int {
+		tol := nearOptimalTolerance * math.Abs(bestScore)
+		for _, i := range frontier {
+			if entryScore(trace[i], goal) <= bestScore+tol {
+				return i
+			}
+		}
+		return bestIdx
+	}
+	if len(frontier) < 3 {
+		return cheapestNear()
+	}
+
+	// Kneedle: normalize the frontier to the unit square and take the
+	// point with the greatest drop below the first→last chord.
+	first, last := trace[frontier[0]], trace[frontier[len(frontier)-1]]
+	dx := last.CostRate - first.CostRate
+	dy := entryScore(last, goal) - entryScore(first, goal) // negative: score falls as cost rises
+	//detlint:allow floatcmp degenerate-chord guard: a zero-width axis cannot be normalized, exact equality detects it
+	if dx == 0 || dy == 0 {
+		return cheapestNear()
+	}
+	knee, maxGain := -1, 0.0
+	for _, i := range frontier {
+		x := (trace[i].CostRate - first.CostRate) / dx
+		y := (entryScore(trace[i], goal) - entryScore(first, goal)) / dy
+		// y is the fraction of the total improvement already realized
+		// at normalized cost x; the chord is y = x. The knee is the
+		// point with the most improvement ahead of its cost — the
+		// greatest rise above the chord.
+		if gain := y - x; gain > maxGain {
+			knee, maxGain = i, gain
+		}
+	}
+	if knee < 0 {
+		return cheapestNear()
+	}
+	return knee
+}

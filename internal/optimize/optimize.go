@@ -1,0 +1,509 @@
+// Package optimize inverts the simulator: instead of "what does merge
+// time look like on this grid of configurations?" it answers "which
+// configuration should I run?". A Spec names a template core.Config, a
+// search Space (candidate values for N, C, D, K, prefetch strategy and
+// placement), an Objective (minimize merge time, maximize disk overlap,
+// or minimize resource cost per sorted block), optional Constraints,
+// and a search driver (exhaustive grid, coordinate descent, or seeded
+// simulated annealing). Run walks the space through an Evaluator —
+// typically internal/service's result-cached, singleflighted engine
+// front-end — and returns the optimum, a kneedle-style knee (the
+// cheapest near-optimal point), and the full evaluation trace.
+//
+// Determinism contract: the search itself is sequential and every
+// random draw comes from an internal/rng stream seeded by Spec.Seed, so
+// the same seed and spec produce a byte-identical trace and identical
+// optimum regardless of how many workers the underlying engine fans
+// each evaluation over. The only fields that may differ between two
+// runs of the same spec are the Cached flags, which report where each
+// evaluation's answer came from, never what it was.
+package optimize
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/layout"
+)
+
+// Algorithm selects the search driver.
+type Algorithm int
+
+const (
+	// Grid enumerates the full cross product of the space in a fixed
+	// lexicographic order (strategy, placement, K, D, N, cache), subject
+	// to the evaluation budget.
+	Grid Algorithm = iota
+	// Coordinate starts from the middle of every dimension and sweeps
+	// one dimension at a time, moving to the best value found, until a
+	// full pass over all dimensions improves nothing.
+	Coordinate
+	// Anneal is simulated annealing: a random neighbor walk (one
+	// dimension step at a time) accepting uphill moves with probability
+	// exp(-Δ/T) under a geometric cooling schedule, driven entirely by
+	// an rng stream seeded from Spec.Seed.
+	Anneal
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Grid:
+		return "grid"
+	case Coordinate:
+		return "coordinate"
+	case Anneal:
+		return "anneal"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm maps a driver name to its Algorithm ("" = grid).
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch name {
+	case "", "grid":
+		return Grid, nil
+	case "coordinate":
+		return Coordinate, nil
+	case "anneal":
+		return Anneal, nil
+	default:
+		return 0, fmt.Errorf("optimize: unknown algorithm %q (want grid, coordinate or anneal)", name)
+	}
+}
+
+// Strategy is one prefetch-strategy setting: whether non-demand disks
+// prefetch too (inter-run) and whether the CPU waits for the whole
+// batch (synchronized). Intra-run depth is the separate N dimension.
+type Strategy struct {
+	InterRun     bool
+	Synchronized bool
+}
+
+// String names the strategy the way the wire forms spell it.
+func (s Strategy) String() string {
+	base := "intra"
+	if s.InterRun {
+		base = "inter"
+	}
+	if s.Synchronized {
+		return base + "-sync"
+	}
+	return base + "-unsync"
+}
+
+// ParseStrategy inverts String.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "intra-unsync":
+		return Strategy{}, nil
+	case "intra-sync":
+		return Strategy{Synchronized: true}, nil
+	case "inter-unsync":
+		return Strategy{InterRun: true}, nil
+	case "inter-sync":
+		return Strategy{InterRun: true, Synchronized: true}, nil
+	default:
+		return Strategy{}, fmt.Errorf("optimize: unknown strategy %q (want intra-unsync, intra-sync, inter-unsync or inter-sync)", name)
+	}
+}
+
+// Dimension is an ordered list of candidate values for one integer
+// knob. An empty dimension pins the knob at the template's value.
+type Dimension struct {
+	Values []int
+}
+
+// Range returns the dimension {min, min+step, ..., ≤ max}.
+func Range(min, max, step int) Dimension {
+	if step <= 0 {
+		step = 1
+	}
+	var vs []int
+	for v := min; v <= max; v += step {
+		vs = append(vs, v)
+	}
+	return Dimension{Values: vs}
+}
+
+// Cache-dimension sentinels. NaturalCache resolves to the candidate's
+// own Config.DefaultCache() (kN, plus DN headroom under inter-run), so
+// a space sweeping N can still ask for "the natural cache at each N".
+// UnlimitedCache is the ample-cache model.
+const (
+	NaturalCache   = 0
+	UnlimitedCache = -1
+)
+
+// Space is the search region: candidate values per knob. Empty
+// dimensions are pinned at the template configuration's value, so the
+// zero Space searches nothing and Spec.Validate rejects it.
+type Space struct {
+	K           Dimension
+	D           Dimension
+	N           Dimension
+	CacheBlocks Dimension // values, or NaturalCache / UnlimitedCache sentinels
+	Strategies  []Strategy
+	Placements  []layout.Placement
+}
+
+// Goal selects what the search minimizes (or maximizes).
+type Goal int
+
+const (
+	// MinTime minimizes mean total merge seconds.
+	MinTime Goal = iota
+	// MaxOverlap maximizes the paper's overlap metric: the mean number
+	// of busy disks while any disk is busy.
+	MaxOverlap
+	// MinCostPerBlock minimizes (BaseCost + DiskCost·D +
+	// RAMCostPerBlock·C) · seconds / merged blocks — resource-seconds
+	// per sorted block, the capacity-planning objective. Under an
+	// unlimited cache C is the observed peak occupancy.
+	MinCostPerBlock
+)
+
+// String implements fmt.Stringer.
+func (g Goal) String() string {
+	switch g {
+	case MinTime:
+		return "min_time"
+	case MaxOverlap:
+		return "max_overlap"
+	case MinCostPerBlock:
+		return "min_cost_per_block"
+	default:
+		return fmt.Sprintf("Goal(%d)", int(g))
+	}
+}
+
+// ParseGoal maps a goal name to its Goal ("" = min_time).
+func ParseGoal(name string) (Goal, error) {
+	switch name {
+	case "", "min_time":
+		return MinTime, nil
+	case "max_overlap":
+		return MaxOverlap, nil
+	case "min_cost_per_block":
+		return MinCostPerBlock, nil
+	default:
+		return 0, fmt.Errorf("optimize: unknown goal %q (want min_time, max_overlap or min_cost_per_block)", name)
+	}
+}
+
+// Objective is the quantity the search optimizes. The cost weights
+// also price the knee detector's x axis regardless of goal, so they
+// default to something sensible (one unit per disk, 0.01 per cache
+// block) instead of zero.
+type Objective struct {
+	Goal            Goal
+	DiskCost        float64 // per input disk (default 1)
+	RAMCostPerBlock float64 // per cache block (default 0.01)
+	BaseCost        float64 // fixed (default 0)
+}
+
+func (o Objective) withDefaults() Objective {
+	if o.DiskCost == 0 {
+		o.DiskCost = 1
+	}
+	if o.RAMCostPerBlock == 0 {
+		o.RAMCostPerBlock = 0.01
+	}
+	return o
+}
+
+// Constraints bound which points are feasible. A violating point stays
+// in the trace (status "infeasible") but can never be the optimum.
+type Constraints struct {
+	MaxSeconds float64 // mean total seconds ≤ this (0 = unconstrained)
+	MinSuccess float64 // mean success ratio ≥ this (0 = unconstrained)
+}
+
+// TrialPolicy is the adaptive replication rule: evaluate at Min trials
+// and double toward Max until the 95% CI of mean total time is within
+// RelCI95 of itself. RelCI95 = 0 fixes the count at Min. Because one
+// trial has no confidence interval, RelCI95 > 0 raises the effective
+// minimum to 2.
+type TrialPolicy struct {
+	Min, Max int
+	RelCI95  float64
+}
+
+// AnnealParams tune the annealing driver. Temp is the initial relative
+// temperature (uphill moves of Δ = Temp·|current| are accepted with
+// probability 1/e; default 0.2); Cooling is the geometric per-step
+// factor (default 0.98).
+type AnnealParams struct {
+	Temp    float64
+	Cooling float64
+}
+
+// Spec is one complete search problem.
+type Spec struct {
+	// Template is the validated base configuration; dimensions absent
+	// from the Space keep its values.
+	Template core.Config
+	Space    Space
+
+	Objective   Objective
+	Constraints Constraints
+
+	Algorithm Algorithm
+	// Seed drives every random draw of the search (only Anneal draws
+	// any). 0 means 1.
+	Seed uint64
+	// MaxEvaluations bounds engine evaluations (default 256). A search
+	// stopped by the budget reports Truncated.
+	MaxEvaluations int
+
+	Trials TrialPolicy
+	Anneal AnnealParams
+}
+
+// maxDimensionValues bounds one dimension so a request cannot smuggle
+// in an effectively unbounded enumeration.
+const maxDimensionValues = 512
+
+func (s Spec) withDefaults() Spec {
+	s.Objective = s.Objective.withDefaults()
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.MaxEvaluations <= 0 {
+		s.MaxEvaluations = 256
+	}
+	if s.Trials.Min <= 0 {
+		s.Trials.Min = 1
+	}
+	if s.Trials.RelCI95 > 0 && s.Trials.Min < 2 {
+		s.Trials.Min = 2
+	}
+	if s.Trials.Max < s.Trials.Min {
+		s.Trials.Max = s.Trials.Min
+	}
+	if s.Anneal.Temp <= 0 {
+		s.Anneal.Temp = 0.2
+	}
+	if s.Anneal.Cooling <= 0 || s.Anneal.Cooling >= 1 {
+		s.Anneal.Cooling = 0.98
+	}
+	return s
+}
+
+// Validate reports the first spec error, or nil. Call on the raw spec;
+// Run applies defaults itself.
+func (s Spec) Validate() error {
+	if err := s.Template.Validate(); err != nil {
+		return fmt.Errorf("optimize: template: %w", err)
+	}
+	if s.Template.RunLengths != nil && (len(s.Space.K.Values) > 0 || len(s.Space.N.Values) > 0) {
+		return fmt.Errorf("optimize: a template with explicit run lengths cannot search over K or N")
+	}
+	dims := 0
+	for _, d := range []struct {
+		name string
+		dim  Dimension
+	}{{"k", s.Space.K}, {"d", s.Space.D}, {"n", s.Space.N}, {"cache_blocks", s.Space.CacheBlocks}} {
+		if len(d.dim.Values) == 0 {
+			continue
+		}
+		dims++
+		if len(d.dim.Values) > maxDimensionValues {
+			return fmt.Errorf("optimize: dimension %s has %d values (limit %d)", d.name, len(d.dim.Values), maxDimensionValues)
+		}
+		for _, v := range d.dim.Values {
+			if d.name == "cache_blocks" {
+				if v < UnlimitedCache {
+					return fmt.Errorf("optimize: cache_blocks value %d (want %d = unlimited, %d = natural, or a positive size)", v, UnlimitedCache, NaturalCache)
+				}
+			} else if v <= 0 {
+				return fmt.Errorf("optimize: dimension %s value %d must be positive", d.name, v)
+			}
+		}
+	}
+	if len(s.Space.Strategies) > 0 {
+		dims++
+	}
+	if len(s.Space.Placements) > 0 {
+		dims++
+	}
+	if dims == 0 {
+		return fmt.Errorf("optimize: search space is empty (every dimension is pinned at the template)")
+	}
+	if s.Trials.Min < 0 || s.Trials.Max < 0 || s.Trials.RelCI95 < 0 {
+		return fmt.Errorf("optimize: negative trial policy")
+	}
+	if s.Trials.Max > 0 && s.Trials.Max < s.Trials.Min {
+		return fmt.Errorf("optimize: trials max %d < min %d", s.Trials.Max, s.Trials.Min)
+	}
+	if s.Constraints.MaxSeconds < 0 || s.Constraints.MinSuccess < 0 || s.Constraints.MinSuccess > 1 {
+		return fmt.Errorf("optimize: constraints out of range")
+	}
+	if s.Anneal.Temp < 0 {
+		return fmt.Errorf("optimize: anneal temp %g (want > 0, or 0 for the default)", s.Anneal.Temp)
+	}
+	if s.Anneal.Cooling < 0 || s.Anneal.Cooling >= 1 {
+		return fmt.Errorf("optimize: anneal cooling %g (want 0 < cooling < 1, or 0 for the default)", s.Anneal.Cooling)
+	}
+	if s.MaxEvaluations < 0 {
+		return fmt.Errorf("optimize: max evaluations %d", s.MaxEvaluations)
+	}
+	return nil
+}
+
+// dimension indices into a point, in the fixed enumeration order.
+const (
+	dimStrategy = iota
+	dimPlacement
+	dimK
+	dimD
+	dimN
+	dimCache
+	numDims
+)
+
+// point is one candidate: an index into each dimension's value list.
+type point [numDims]int
+
+// space is the normalized search region: every dimension concrete,
+// pinned dimensions holding exactly the template's value.
+type space struct {
+	strategies []Strategy
+	placements []layout.Placement
+	k, d, n, c []int
+}
+
+func newSpace(s Spec) *space {
+	sp := &space{
+		strategies: s.Space.Strategies,
+		placements: s.Space.Placements,
+		k:          s.Space.K.Values,
+		d:          s.Space.D.Values,
+		n:          s.Space.N.Values,
+		c:          s.Space.CacheBlocks.Values,
+	}
+	t := s.Template
+	if len(sp.strategies) == 0 {
+		sp.strategies = []Strategy{{InterRun: t.InterRun, Synchronized: t.Synchronized}}
+	}
+	if len(sp.placements) == 0 {
+		sp.placements = []layout.Placement{t.Placement}
+	}
+	if len(sp.k) == 0 {
+		sp.k = []int{t.K}
+	}
+	if len(sp.d) == 0 {
+		sp.d = []int{t.D}
+	}
+	if len(sp.n) == 0 {
+		sp.n = []int{t.N}
+	}
+	if len(sp.c) == 0 {
+		cb := t.CacheBlocks
+		if cb == cache.Unlimited {
+			cb = UnlimitedCache
+		}
+		sp.c = []int{cb}
+	}
+	return sp
+}
+
+// size returns the number of values in dimension i.
+func (sp *space) size(i int) int {
+	switch i {
+	case dimStrategy:
+		return len(sp.strategies)
+	case dimPlacement:
+		return len(sp.placements)
+	case dimK:
+		return len(sp.k)
+	case dimD:
+		return len(sp.d)
+	case dimN:
+		return len(sp.n)
+	default:
+		return len(sp.c)
+	}
+}
+
+// points returns the cross-product size, saturating at math.MaxInt.
+func (sp *space) points() int {
+	total := 1
+	for i := 0; i < numDims; i++ {
+		n := sp.size(i)
+		if total > math.MaxInt/n {
+			return math.MaxInt
+		}
+		total *= n
+	}
+	return total
+}
+
+// mid returns the deterministic start point: the middle of every
+// dimension (coordinate descent and annealing start here).
+func (sp *space) mid() point {
+	var p point
+	for i := 0; i < numDims; i++ {
+		p[i] = sp.size(i) / 2
+	}
+	return p
+}
+
+// Params is the human-readable identity of one candidate: the knob
+// values the point sets on the template. CacheBlocks is the resolved
+// capacity in blocks (-1 for unlimited).
+type Params struct {
+	K            int    `json:"k"`
+	D            int    `json:"d"`
+	N            int    `json:"n"`
+	CacheBlocks  int    `json:"cache_blocks"`
+	InterRun     bool   `json:"inter_run"`
+	Synchronized bool   `json:"synchronized"`
+	Placement    string `json:"placement"`
+}
+
+// Strategy returns the point's strategy setting.
+func (p Params) Strategy() Strategy {
+	return Strategy{InterRun: p.InterRun, Synchronized: p.Synchronized}
+}
+
+// materialize applies the point to a copy of the template and validates
+// it. The returned Params carry the resolved cache size so cost and
+// knee math never see the sentinels.
+func (sp *space) materialize(tmpl core.Config, p point) (core.Config, Params, error) {
+	cfg := tmpl
+	st := sp.strategies[p[dimStrategy]]
+	cfg.InterRun, cfg.Synchronized = st.InterRun, st.Synchronized
+	cfg.Placement = sp.placements[p[dimPlacement]]
+	cfg.K = sp.k[p[dimK]]
+	cfg.D = sp.d[p[dimD]]
+	cfg.N = sp.n[p[dimN]]
+
+	resolved := sp.c[p[dimCache]]
+	switch resolved {
+	case NaturalCache:
+		resolved = cfg.DefaultCache()
+		cfg.CacheBlocks = resolved
+	case UnlimitedCache:
+		cfg.CacheBlocks = cache.Unlimited
+	default:
+		cfg.CacheBlocks = resolved
+	}
+
+	params := Params{
+		K:            cfg.K,
+		D:            cfg.D,
+		N:            cfg.N,
+		CacheBlocks:  resolved,
+		InterRun:     cfg.InterRun,
+		Synchronized: cfg.Synchronized,
+		Placement:    cfg.Placement.String(),
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, params, err
+	}
+	return cfg, params, nil
+}

@@ -1,0 +1,205 @@
+package optimize
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/layout"
+)
+
+// testTemplate is a tiny valid base configuration for spec-level tests.
+func testTemplate() core.Config {
+	cfg := core.Default()
+	cfg.K = 4
+	cfg.D = 2
+	cfg.BlocksPerRun = 8
+	cfg.N = 1
+	cfg.CacheBlocks = cfg.DefaultCache()
+	return cfg
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]Algorithm{"": Grid, "grid": Grid, "coordinate": Coordinate, "anneal": Anneal}
+	for name, want := range cases {
+		got, err := ParseAlgorithm(name)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", name, got, err, want)
+		}
+		if name != "" && got.String() != name {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), name)
+		}
+	}
+	if _, err := ParseAlgorithm("gradient"); err == nil {
+		t.Error("ParseAlgorithm accepted an unknown name")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for _, name := range []string{"intra-unsync", "intra-sync", "inter-unsync", "inter-sync"} {
+		st, err := ParseStrategy(name)
+		if err != nil {
+			t.Fatalf("ParseStrategy(%q): %v", name, err)
+		}
+		if st.String() != name {
+			t.Errorf("round trip %q -> %q", name, st.String())
+		}
+	}
+	if _, err := ParseStrategy("extra-sync"); err == nil {
+		t.Error("ParseStrategy accepted an unknown name")
+	}
+}
+
+func TestParseGoal(t *testing.T) {
+	cases := map[string]Goal{"": MinTime, "min_time": MinTime, "max_overlap": MaxOverlap, "min_cost_per_block": MinCostPerBlock}
+	for name, want := range cases {
+		got, err := ParseGoal(name)
+		if err != nil || got != want {
+			t.Errorf("ParseGoal(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseGoal("max_fun"); err == nil {
+		t.Error("ParseGoal accepted an unknown name")
+	}
+}
+
+func TestRange(t *testing.T) {
+	got := Range(1, 7, 2).Values
+	want := []int{1, 3, 5, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Range(1,7,2) = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range(1,7,2) = %v, want %v", got, want)
+		}
+	}
+	if vs := Range(3, 5, 0).Values; len(vs) != 3 { // step 0 behaves as 1
+		t.Errorf("Range(3,5,0) = %v, want 3 values", vs)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	base := func() Spec {
+		return Spec{Template: testTemplate(), Space: Space{N: Range(1, 4, 1)}}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+		want string
+	}{
+		{"empty space", func(s *Spec) { s.Space = Space{} }, "search space is empty"},
+		{"bad template", func(s *Spec) { s.Template.K = 0 }, "template"},
+		{"run lengths vs K", func(s *Spec) {
+			s.Template.RunLengths = []int{8, 8, 8, 8}
+			s.Space = Space{K: Dimension{Values: []int{2, 4}}}
+		}, "run lengths"},
+		{"nonpositive value", func(s *Spec) { s.Space.D = Dimension{Values: []int{0}} }, "must be positive"},
+		{"cache below sentinel", func(s *Spec) { s.Space.CacheBlocks = Dimension{Values: []int{-2}} }, "cache_blocks value"},
+		{"oversized dimension", func(s *Spec) { s.Space.N = Range(1, maxDimensionValues+1, 1) }, "limit"},
+		{"negative trials", func(s *Spec) { s.Trials.Min = -1 }, "trial policy"},
+		{"max below min", func(s *Spec) { s.Trials = TrialPolicy{Min: 4, Max: 2} }, "trials max"},
+		{"bad success constraint", func(s *Spec) { s.Constraints.MinSuccess = 1.5 }, "constraints"},
+		{"negative temp", func(s *Spec) { s.Anneal.Temp = -1 }, "anneal temp"},
+		{"cooling ge one", func(s *Spec) { s.Anneal.Cooling = 1 }, "anneal cooling"},
+		{"negative budget", func(s *Spec) { s.MaxEvaluations = -1 }, "max evaluations"},
+	}
+	for _, tc := range cases {
+		spec := base()
+		tc.mut(&spec)
+		err := spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSpacePinsEmptyDimensions(t *testing.T) {
+	tmpl := testTemplate()
+	tmpl.InterRun = true
+	tmpl.Synchronized = true
+	tmpl.Placement = layout.Striped
+	sp := newSpace(Spec{Template: tmpl, Space: Space{N: Dimension{Values: []int{1, 2}}}})
+	if got := sp.points(); got != 2 {
+		t.Fatalf("points() = %d, want 2", got)
+	}
+	cfg, params, err := sp.materialize(tmpl, point{0, 0, 0, 0, 1, 0})
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	if cfg.K != tmpl.K || cfg.D != tmpl.D || cfg.N != 2 || !cfg.InterRun || !cfg.Synchronized || cfg.Placement != layout.Striped {
+		t.Errorf("pinned dims leaked: %+v", params)
+	}
+	if params.CacheBlocks != tmpl.CacheBlocks {
+		t.Errorf("pinned cache = %d, want template %d", params.CacheBlocks, tmpl.CacheBlocks)
+	}
+}
+
+func TestMaterializeResolvesCacheSentinels(t *testing.T) {
+	tmpl := testTemplate()
+	sp := newSpace(Spec{Template: tmpl, Space: Space{
+		N:           Dimension{Values: []int{2}},
+		CacheBlocks: Dimension{Values: []int{NaturalCache, UnlimitedCache, 16}},
+	}})
+
+	cfg, params, err := sp.materialize(tmpl, point{0, 0, 0, 0, 0, 0})
+	if err != nil {
+		t.Fatalf("natural: %v", err)
+	}
+	if want := cfg.DefaultCache(); cfg.CacheBlocks != want || params.CacheBlocks != want {
+		t.Errorf("natural cache = cfg %d / params %d, want %d", cfg.CacheBlocks, params.CacheBlocks, want)
+	}
+
+	cfg, params, err = sp.materialize(tmpl, point{0, 0, 0, 0, 0, 1})
+	if err != nil {
+		t.Fatalf("unlimited: %v", err)
+	}
+	if cfg.CacheBlocks != cache.Unlimited || params.CacheBlocks != UnlimitedCache {
+		t.Errorf("unlimited cache = cfg %d / params %d", cfg.CacheBlocks, params.CacheBlocks)
+	}
+
+	cfg, params, err = sp.materialize(tmpl, point{0, 0, 0, 0, 0, 2})
+	if err != nil {
+		t.Fatalf("explicit: %v", err)
+	}
+	if cfg.CacheBlocks != 16 || params.CacheBlocks != 16 {
+		t.Errorf("explicit cache = cfg %d / params %d, want 16", cfg.CacheBlocks, params.CacheBlocks)
+	}
+}
+
+func TestUnlimitedTemplateCachePinsToSentinel(t *testing.T) {
+	tmpl := testTemplate()
+	tmpl.CacheBlocks = cache.Unlimited
+	sp := newSpace(Spec{Template: tmpl, Space: Space{N: Dimension{Values: []int{1, 2}}}})
+	cfg, params, err := sp.materialize(tmpl, point{})
+	if err != nil {
+		t.Fatalf("materialize: %v", err)
+	}
+	if cfg.CacheBlocks != cache.Unlimited || params.CacheBlocks != UnlimitedCache {
+		t.Errorf("unlimited template: cfg %d / params %d", cfg.CacheBlocks, params.CacheBlocks)
+	}
+}
+
+func TestMaterializeInvalidCandidate(t *testing.T) {
+	tmpl := testTemplate()
+	sp := newSpace(Spec{Template: tmpl, Space: Space{D: Dimension{Values: []int{8}}}}) // D > K
+	if _, _, err := sp.materialize(tmpl, point{}); err == nil {
+		t.Fatal("materialize accepted D > K")
+	}
+}
+
+func TestMidPoint(t *testing.T) {
+	sp := newSpace(Spec{Template: testTemplate(), Space: Space{
+		N: Dimension{Values: []int{1, 2, 4, 8}},
+		D: Dimension{Values: []int{1, 2, 3}},
+	}})
+	m := sp.mid()
+	if m[dimN] != 2 || m[dimD] != 1 || m[dimK] != 0 {
+		t.Errorf("mid() = %v", m)
+	}
+}

@@ -1,0 +1,415 @@
+package optimize
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fakeEvaluator computes a synthetic objective from the candidate's
+// knobs and mimics the service cache: a repeated (config, trials) key
+// reports Cached, exactly like a result-cache hit would.
+type fakeEvaluator struct {
+	fn    func(cfg core.Config) Eval
+	calls int
+	seen  map[string]bool
+}
+
+func (f *fakeEvaluator) Evaluate(_ context.Context, cfg core.Config, trials int) (Eval, error) {
+	f.calls++
+	if f.seen == nil {
+		f.seen = make(map[string]bool)
+	}
+	h, err := cfg.Hash()
+	if err != nil {
+		return Eval{}, err
+	}
+	key := fmt.Sprintf("%s/%d", h, trials)
+	e := f.fn(cfg)
+	e.Cached = f.seen[key]
+	f.seen[key] = true
+	return e, nil
+}
+
+// flatEval fills the fields the harness needs with benign defaults.
+func flatEval(seconds float64, cfg core.Config) Eval {
+	return Eval{
+		Seconds:   seconds,
+		Success:   1,
+		Overlap:   float64(cfg.D),
+		CachePeak: int64(cfg.K),
+		Blocks:    cfg.TotalBlocks(),
+	}
+}
+
+func mustRun(t *testing.T, spec Spec, ev Evaluator) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), spec, ev)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func traceJSON(t *testing.T, res *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(res.Trace)
+	if err != nil {
+		t.Fatalf("marshal trace: %v", err)
+	}
+	return b
+}
+
+// quadratic has its unique minimum at N=1, D=3 (mid starts elsewhere).
+func quadratic(cfg core.Config) Eval {
+	n, d := float64(cfg.N), float64(cfg.D)
+	return flatEval(10+(n-1)*(n-1)+(d-3)*(d-3), cfg)
+}
+
+func quadraticSpec(alg Algorithm) Spec {
+	return Spec{
+		Template:  testTemplate(),
+		Space:     Space{N: Dimension{Values: []int{1, 2, 4, 8}}, D: Dimension{Values: []int{1, 2, 3}}},
+		Algorithm: alg,
+	}
+}
+
+func TestGridFindsOptimum(t *testing.T) {
+	ev := &fakeEvaluator{fn: quadratic}
+	res := mustRun(t, quadraticSpec(Grid), ev)
+
+	if res.Best == nil || res.Best.Params.N != 1 || res.Best.Params.D != 3 {
+		t.Fatalf("best = %+v, want N=1 D=3", res.Best)
+	}
+	if math.Abs(res.Best.Objective-10) > 1e-12 {
+		t.Errorf("best objective = %g, want 10", res.Best.Objective)
+	}
+	if want := 12; len(res.Trace) != want || res.Evaluations != want || res.Distinct != want {
+		t.Errorf("trace %d evals %d distinct %d, want all %d", len(res.Trace), res.Evaluations, res.Distinct, want)
+	}
+	if res.CacheServed != 0 || res.Truncated {
+		t.Errorf("cacheServed %d truncated %v on a cold full grid", res.CacheServed, res.Truncated)
+	}
+	for i, e := range res.Trace {
+		if e.Step != i || e.Status != StatusOK || e.Hash == "" || e.Trials != 1 {
+			t.Fatalf("trace[%d] malformed: %+v", i, e)
+		}
+	}
+}
+
+func TestGridBudgetTruncates(t *testing.T) {
+	spec := quadraticSpec(Grid)
+	spec.MaxEvaluations = 3
+	res := mustRun(t, spec, &fakeEvaluator{fn: quadratic})
+	if !res.Truncated || res.Evaluations != 3 || len(res.Trace) != 3 {
+		t.Fatalf("truncated %v evals %d trace %d, want true/3/3", res.Truncated, res.Evaluations, len(res.Trace))
+	}
+}
+
+func TestCoordinateConvergesWithFewerEvaluations(t *testing.T) {
+	ev := &fakeEvaluator{fn: quadratic}
+	res := mustRun(t, quadraticSpec(Coordinate), ev)
+
+	if res.Best == nil || res.Best.Params.N != 1 || res.Best.Params.D != 3 {
+		t.Fatalf("best = %+v, want N=1 D=3", res.Best)
+	}
+	// The convergence pass revisits settled points; those are served by
+	// the (fake) cache, never fresh work.
+	if res.CacheServed == 0 {
+		t.Error("coordinate descent revisits produced no cache-served evaluations")
+	}
+	if fresh := ev.calls - res.CacheServed; fresh > 12 {
+		t.Errorf("%d fresh evaluations for a 12-point space", fresh)
+	}
+}
+
+func TestAnnealDeterministicPerSeed(t *testing.T) {
+	spec := quadraticSpec(Anneal)
+	spec.Seed = 7
+	spec.MaxEvaluations = 40
+
+	a := mustRun(t, spec, &fakeEvaluator{fn: quadratic})
+	b := mustRun(t, spec, &fakeEvaluator{fn: quadratic})
+	if ja, jb := traceJSON(t, a), traceJSON(t, b); string(ja) != string(jb) {
+		t.Fatalf("same seed, different traces:\n%s\n%s", ja, jb)
+	}
+
+	spec.Seed = 8
+	c := mustRun(t, spec, &fakeEvaluator{fn: quadratic})
+	if string(traceJSON(t, a)) == string(traceJSON(t, c)) {
+		t.Error("seeds 7 and 8 walked identical traces")
+	}
+	if a.Best == nil || c.Best == nil {
+		t.Fatal("anneal found no feasible point")
+	}
+}
+
+func TestDeterministicTraceAllAlgorithms(t *testing.T) {
+	for _, alg := range []Algorithm{Grid, Coordinate, Anneal} {
+		spec := quadraticSpec(alg)
+		spec.MaxEvaluations = 30
+		a := mustRun(t, spec, &fakeEvaluator{fn: quadratic})
+		b := mustRun(t, spec, &fakeEvaluator{fn: quadratic})
+		if ja, jb := traceJSON(t, a), traceJSON(t, b); string(ja) != string(jb) {
+			t.Errorf("%v: traces differ between identical runs", alg)
+		}
+	}
+}
+
+func TestAdaptiveTrialsEscalate(t *testing.T) {
+	ev := &fakeEvaluator{fn: func(cfg core.Config) Eval {
+		e := flatEval(10, cfg)
+		e.CI95 = 1 // rel CI 0.1, recomputed below per trial count
+		return e
+	}}
+	// The fake cannot see the trial count through fn, so wrap Evaluate:
+	// CI shrinks as 0.8·seconds/trials — tight enough at 4 trials.
+	wrapped := EvaluatorFunc(func(ctx context.Context, cfg core.Config, trials int) (Eval, error) {
+		e, err := ev.Evaluate(ctx, cfg, trials)
+		if err != nil {
+			return e, err
+		}
+		e.CI95 = 0.8 * e.Seconds / float64(trials)
+		return e, nil
+	})
+
+	spec := Spec{
+		Template: testTemplate(),
+		Space:    Space{N: Dimension{Values: []int{1, 2}}},
+		Trials:   TrialPolicy{Max: 8, RelCI95: 0.3},
+	}
+	res := mustRun(t, spec, wrapped)
+	// Min defaults to 2 (one trial has no CI): 2 trials → rel 0.4 (too
+	// loose), 4 trials → rel 0.2 (stop). Two evaluator calls per point.
+	if res.Evaluations != 4 {
+		t.Errorf("evaluations = %d, want 4 (2 points × 2 ladder steps)", res.Evaluations)
+	}
+	for _, e := range res.Trace {
+		if e.Trials != 4 {
+			t.Errorf("trace entry stopped at %d trials, want 4", e.Trials)
+		}
+	}
+}
+
+func TestConstraintsExcludeInfeasible(t *testing.T) {
+	// More disks are faster but only D=1 meets the success floor.
+	ev := func(cfg core.Config) Eval {
+		e := flatEval(10-float64(cfg.D), cfg)
+		if cfg.D > 1 {
+			e.Success = 0.5
+		}
+		return e
+	}
+	spec := Spec{
+		Template:    testTemplate(),
+		Space:       Space{D: Dimension{Values: []int{1, 2, 3}}},
+		Constraints: Constraints{MinSuccess: 0.9},
+	}
+	res := mustRun(t, spec, &fakeEvaluator{fn: ev})
+	if res.Best == nil || res.Best.Params.D != 1 {
+		t.Fatalf("best = %+v, want the only feasible point D=1", res.Best)
+	}
+	infeasible := 0
+	for _, e := range res.Trace {
+		if e.Status == StatusInfeasible {
+			infeasible++
+		}
+	}
+	if infeasible != 2 {
+		t.Errorf("%d infeasible entries, want 2", infeasible)
+	}
+
+	// An unsatisfiable constraint leaves Best and Knee empty, not an error.
+	spec.Constraints.MaxSeconds = 0.001
+	res = mustRun(t, spec, &fakeEvaluator{fn: ev})
+	if res.Best != nil || res.Knee != nil {
+		t.Errorf("all-infeasible search still picked best %+v knee %+v", res.Best, res.Knee)
+	}
+}
+
+func TestInvalidCandidatesSkipEvaluation(t *testing.T) {
+	ev := &fakeEvaluator{fn: quadratic}
+	spec := Spec{
+		Template: testTemplate(), // K = 4
+		Space:    Space{D: Dimension{Values: []int{2, 8}}},
+	}
+	res := mustRun(t, spec, ev)
+	if len(res.Trace) != 2 || res.Evaluations != 1 || res.Distinct != 1 {
+		t.Fatalf("trace %d evals %d distinct %d, want 2/1/1", len(res.Trace), res.Evaluations, res.Distinct)
+	}
+	if res.Trace[1].Status != StatusInvalid || res.Trace[1].Params.D != 8 {
+		t.Errorf("invalid entry = %+v", res.Trace[1])
+	}
+	if res.Best == nil || res.Best.Params.D != 2 {
+		t.Errorf("best = %+v, want D=2", res.Best)
+	}
+}
+
+func TestMaxOverlapGoal(t *testing.T) {
+	spec := Spec{
+		Template:  testTemplate(),
+		Space:     Space{D: Dimension{Values: []int{1, 2, 3}}},
+		Objective: Objective{Goal: MaxOverlap},
+	}
+	res := mustRun(t, spec, &fakeEvaluator{fn: func(cfg core.Config) Eval { return flatEval(10, cfg) }})
+	if res.Best == nil || res.Best.Params.D != 3 {
+		t.Fatalf("best = %+v, want the most-parallel D=3", res.Best)
+	}
+	if math.Abs(res.Best.Objective-3) > 1e-12 {
+		t.Errorf("objective = %g, want overlap 3 reported goal-naturally", res.Best.Objective)
+	}
+}
+
+func TestMinCostPerBlockGoal(t *testing.T) {
+	spec := Spec{
+		Template:  testTemplate(),
+		Space:     Space{D: Dimension{Values: []int{1, 2, 3}}},
+		Objective: Objective{Goal: MinCostPerBlock},
+	}
+	res := mustRun(t, spec, &fakeEvaluator{fn: func(cfg core.Config) Eval { return flatEval(10, cfg) }})
+	if res.Best == nil || res.Best.Params.D != 1 {
+		t.Fatalf("best = %+v, want the cheapest D=1 at equal speed", res.Best)
+	}
+	// cost rate = 1·D + 0.01·cache(4) = 1.04; per block over 32 blocks of 10 s.
+	want := 1.04 * 10 / 32
+	if math.Abs(res.Best.Objective-want) > 1e-12 {
+		t.Errorf("objective = %g, want %g", res.Best.Objective, want)
+	}
+}
+
+func TestKneeOnDiminishingReturns(t *testing.T) {
+	// Seconds = 100/D: each extra disk buys less. The classic knee of
+	// {100, 50, 33, 25, 20} against cost ∝ D is at D=2.
+	spec := Spec{
+		Template: testTemplate(),
+		Space:    Space{D: Dimension{Values: []int{1, 2, 3, 4, 5}}},
+	}
+	tmpl := testTemplate()
+	tmpl.K = 8 // allow D up to 5
+	tmpl.CacheBlocks = tmpl.DefaultCache()
+	spec.Template = tmpl
+	res := mustRun(t, spec, &fakeEvaluator{fn: func(cfg core.Config) Eval {
+		return flatEval(100/float64(cfg.D), cfg)
+	}})
+	if res.Best == nil || res.Best.Params.D != 5 {
+		t.Fatalf("best = %+v, want the fastest D=5", res.Best)
+	}
+	if res.Knee == nil || res.Knee.Params.D != 2 {
+		t.Fatalf("knee = %+v, want the diminishing-returns elbow D=2", res.Knee)
+	}
+}
+
+func TestEvaluatorErrorPropagates(t *testing.T) {
+	boom := fmt.Errorf("disk on fire")
+	ev := EvaluatorFunc(func(context.Context, core.Config, int) (Eval, error) { return Eval{}, boom })
+	if _, err := Run(context.Background(), quadraticSpec(Grid), ev); err == nil {
+		t.Fatal("Run swallowed the evaluator error")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, quadraticSpec(Grid), &fakeEvaluator{fn: quadratic})
+	if err == nil {
+		t.Fatal("Run ignored a cancelled context")
+	}
+}
+
+func TestUnknownAlgorithmRejected(t *testing.T) {
+	spec := quadraticSpec(Algorithm(99))
+	if _, err := Run(context.Background(), spec, &fakeEvaluator{fn: quadratic}); err == nil {
+		t.Fatal("Run accepted an unknown algorithm")
+	}
+}
+
+// engineEvaluator runs the real simulation engine, single-worker.
+func engineEvaluator(workers int) EvaluatorFunc {
+	return func(ctx context.Context, cfg core.Config, trials int) (Eval, error) {
+		aggs, err := core.RunGridContext(ctx, []core.Config{cfg}, trials, workers)
+		if err != nil {
+			return Eval{}, err
+		}
+		a := aggs[0]
+		var peak, blocks int64
+		for _, r := range a.Results {
+			if r.CachePeak > peak {
+				peak = r.CachePeak
+			}
+			blocks = r.MergedBlocks
+		}
+		return Eval{
+			Seconds:   a.TotalTime.Mean(),
+			CI95:      a.TotalTime.CI95(),
+			Success:   a.SuccessRatio.Mean(),
+			Overlap:   a.Concurrency.Mean(),
+			CachePeak: peak,
+			Blocks:    blocks,
+		}, nil
+	}
+}
+
+func TestRealEngineSearch(t *testing.T) {
+	tmpl := testTemplate()
+	spec := Spec{
+		Template: tmpl,
+		Space: Space{
+			N:           Dimension{Values: []int{1, 2}},
+			Strategies:  []Strategy{{}, {InterRun: true}},
+			CacheBlocks: Dimension{Values: []int{NaturalCache}},
+		},
+	}
+	res := mustRun(t, spec, engineEvaluator(1))
+	if res.Best == nil {
+		t.Fatal("no feasible point on a real engine grid")
+	}
+	for i, e := range res.Trace {
+		if e.Status != StatusOK || e.Seconds <= 0 {
+			t.Fatalf("trace[%d] = %+v", i, e)
+		}
+	}
+	// Prefetching can't make the merge slower than no-prefetch here.
+	base := res.Trace[0]
+	if base.Params.N == 1 && !base.Params.InterRun && res.Best.Seconds > base.Seconds+1e-9 {
+		t.Errorf("best %.4fs worse than the no-prefetch baseline %.4fs", res.Best.Seconds, base.Seconds)
+	}
+}
+
+// TestRealEngineWorkerIndependence pins the tentpole determinism claim:
+// the engine may fan trials over any worker count without changing one
+// byte of the search trace.
+func TestRealEngineWorkerIndependence(t *testing.T) {
+	spec := Spec{
+		Template: testTemplate(),
+		Space:    Space{N: Dimension{Values: []int{1, 2}}, D: Dimension{Values: []int{1, 2}}},
+		Trials:   TrialPolicy{Min: 3},
+	}
+	one := mustRun(t, spec, engineEvaluator(1))
+	four := mustRun(t, spec, engineEvaluator(4))
+	if ja, jb := traceJSON(t, one), traceJSON(t, four); string(ja) != string(jb) {
+		t.Fatalf("worker count changed the trace:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestTrajectoryFigure(t *testing.T) {
+	spec := quadraticSpec(Grid)
+	res := mustRun(t, spec, &fakeEvaluator{fn: quadratic})
+	fig := TrajectoryFigure(spec, res)
+	if fig.ID != "optimize" || len(fig.Series) != 2 {
+		t.Fatalf("figure = %+v", fig)
+	}
+	obj, best := fig.Series[0], fig.Series[1]
+	if len(obj.X) != 12 || len(best.X) != 12 {
+		t.Fatalf("series lengths %d/%d, want 12", len(obj.X), len(best.X))
+	}
+	// The running best is non-increasing for a minimizing goal.
+	for i := 1; i < len(best.Y); i++ {
+		if best.Y[i] > best.Y[i-1]+1e-12 {
+			t.Fatalf("running best rose at step %d: %v", i, best.Y)
+		}
+	}
+}

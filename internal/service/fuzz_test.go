@@ -48,3 +48,47 @@ func FuzzDecodeSimulateRequest(f *testing.F) {
 		}
 	})
 }
+
+// FuzzDecodeOptimizeRequest drives arbitrary bytes through the optimize
+// request path: strict decode, then spec construction and validation.
+// Nothing may panic, and a body that builds a valid spec must build it
+// identically on every call — the spec is the cache-key surface of a
+// whole search, so instability would split every evaluation's key.
+func FuzzDecodeOptimizeRequest(f *testing.F) {
+	f.Add([]byte(`{"space":{"n":{"values":[1,2,4]}}}`))
+	f.Add([]byte(`{"template":{"k":4,"d":2,"blocks_per_run":40},"space":{"d":{"min":1,"max":2},"strategies":["intra-unsync","inter-sync"]}}`))
+	f.Add([]byte(`{"space":{"cache_blocks":{"values":[-1,0,25]}},"objective":{"goal":"min_cost_per_block","disk_cost":2}}`))
+	f.Add([]byte(`{"space":{"n":{"min":1,"max":8,"step":2}},"search":{"algorithm":"anneal","seed":9,"max_evaluations":32,"temp":0.5,"cooling":0.9}}`))
+	f.Add([]byte(`{"space":{"k":{"values":[4,8]}},"trials":{"min":2,"max":8,"rel_ci95":0.1},"constraints":{"max_seconds":100,"min_success":0.5}}`))
+	f.Add([]byte(`{"space":{"placements":["striped","clustered"]},"figure":true}`))
+	f.Add([]byte(`{"space":{}}`))
+	f.Add([]byte(`{"space":{"n":{"values":[1]}},"search":{"max_evaluations":1e999}}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte{0x7b, 0xff})
+
+	svc := New(Options{})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var req OptimizeRequest
+		rec := httptest.NewRecorder()
+		hr := httptest.NewRequest("POST", "/v1/optimize", bytes.NewReader(body))
+		if code := decodeBody(rec, hr, &req); code != 0 {
+			return // rejected bodies are fine; not panicking is the contract
+		}
+		spec1, err := svc.buildSpec(req)
+		if err != nil {
+			return
+		}
+		h1, err := spec1.Template.Hash()
+		if err != nil {
+			t.Fatalf("valid spec has unhashable template: %v", err)
+		}
+		spec2, err := svc.buildSpec(req)
+		if err != nil {
+			t.Fatalf("spec built once, failed twice: %v", err)
+		}
+		h2, err := spec2.Template.Hash()
+		if err != nil || h1 != h2 {
+			t.Fatalf("template hash not stable: %q then %q (err %v)", h1, h2, err)
+		}
+	})
+}

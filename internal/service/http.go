@@ -31,6 +31,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/simulate", s.instrumented("simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/sweep", s.instrumented("sweep", s.handleSweep))
+	mux.HandleFunc("POST /v1/optimize", s.instrumented("optimize", s.handleOptimize))
 	mux.HandleFunc("GET /healthz", s.instrumented("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrumented("metrics", s.handleMetrics))
 	return s.withRequestID(mux)
@@ -96,6 +97,19 @@ func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) int {
 		return s.writeError(w, err)
 	}
 	w.Header().Set("X-Cache", fmt.Sprintf("%d/%d", hits, points))
+	return writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) int {
+	var req OptimizeRequest
+	if code := decodeBody(w, r, &req); code != 0 {
+		return code
+	}
+	body, served, evals, err := s.Optimize(r.Context(), req)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	w.Header().Set("X-Cache", fmt.Sprintf("%d/%d", served, evals))
 	return writeJSON(w, http.StatusOK, body)
 }
 

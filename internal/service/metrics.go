@@ -67,6 +67,11 @@ type metrics struct {
 	timeouts    int64
 	panics      int64
 
+	optRequests    int64
+	optEvaluations int64
+	optCacheServed int64
+	optSearch      *hist // search duration, seconds
+
 	latency map[string]*hist // per endpoint, seconds
 	size    map[string]*hist // per endpoint, response bytes
 
@@ -86,6 +91,7 @@ func newMetrics() *metrics {
 		requests:  make(map[reqKey]int64),
 		latency:   make(map[string]*hist),
 		size:      make(map[string]*hist),
+		optSearch: newHist(latencyBuckets),
 		goVersion: "unknown",
 		version:   "unknown",
 	}
@@ -134,8 +140,27 @@ func (m *metrics) addCacheHits(n int64)   { m.mu.Lock(); m.cacheHits += n; m.mu.
 func (m *metrics) addCacheMisses(n int64) { m.mu.Lock(); m.cacheMisses += n; m.mu.Unlock() }
 func (m *metrics) addDedupShared(n int64) { m.mu.Lock(); m.dedupShared += n; m.mu.Unlock() }
 func (m *metrics) addShed()               { m.mu.Lock(); m.shed++; m.mu.Unlock() }
-func (m *metrics) addTimeout()            { m.mu.Lock(); m.timeouts++; m.mu.Unlock() }
-func (m *metrics) addPanic()              { m.mu.Lock(); m.panics++; m.mu.Unlock() }
+
+// addOptimize records one finished search: its evaluation counts and
+// end-to-end duration in seconds.
+func (m *metrics) addOptimize(evals, served int64, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.optRequests++
+	m.optEvaluations += evals
+	m.optCacheServed += served
+	m.optSearch.observe(seconds)
+}
+
+// optimizeSnapshot returns (searches, evaluations, cache-served) for
+// tests and logs.
+func (m *metrics) optimizeSnapshot() (requests, evals, served int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.optRequests, m.optEvaluations, m.optCacheServed
+}
+func (m *metrics) addTimeout() { m.mu.Lock(); m.timeouts++; m.mu.Unlock() }
+func (m *metrics) addPanic()   { m.mu.Lock(); m.panics++; m.mu.Unlock() }
 
 // snapshot returns (hits, misses, shared) for tests and logs.
 func (m *metrics) snapshot() (hits, misses, shared int64) {
@@ -204,6 +229,30 @@ func (m *metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int, cac
 	fmt.Fprintln(w, "# HELP simd_dedup_shared_total Requests that joined an identical in-flight run.")
 	fmt.Fprintln(w, "# TYPE simd_dedup_shared_total counter")
 	fmt.Fprintf(w, "simd_dedup_shared_total %d\n", m.dedupShared)
+
+	fmt.Fprintln(w, "# HELP simd_optimize_requests_total Completed configuration searches.")
+	fmt.Fprintln(w, "# TYPE simd_optimize_requests_total counter")
+	fmt.Fprintf(w, "simd_optimize_requests_total %d\n", m.optRequests)
+	fmt.Fprintln(w, "# HELP simd_optimize_evaluations_total Candidate evaluations performed by searches, adaptive-trial escalations included.")
+	fmt.Fprintln(w, "# TYPE simd_optimize_evaluations_total counter")
+	fmt.Fprintf(w, "simd_optimize_evaluations_total %d\n", m.optEvaluations)
+	fmt.Fprintln(w, "# HELP simd_optimize_cache_served_total Search evaluations answered from the result cache or a shared in-flight run.")
+	fmt.Fprintln(w, "# TYPE simd_optimize_cache_served_total counter")
+	fmt.Fprintf(w, "simd_optimize_cache_served_total %d\n", m.optCacheServed)
+	fmt.Fprintln(w, "# HELP simd_optimize_search_seconds End-to-end configuration-search duration.")
+	fmt.Fprintln(w, "# TYPE simd_optimize_search_seconds histogram")
+	{
+		h := m.optSearch
+		var cum int64
+		for i, ub := range h.buckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "simd_optimize_search_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+		}
+		cum += h.inf
+		fmt.Fprintf(w, "simd_optimize_search_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+		fmt.Fprintf(w, "simd_optimize_search_seconds_sum %g\n", h.sum)
+		fmt.Fprintf(w, "simd_optimize_search_seconds_count %d\n", h.count)
+	}
 
 	fmt.Fprintln(w, "# HELP simd_admission_shed_total Requests shed with 429 because the queue was full.")
 	fmt.Fprintln(w, "# TYPE simd_admission_shed_total counter")

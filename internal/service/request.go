@@ -141,16 +141,11 @@ func (r SimulateRequest) config() (core.Config, error) {
 	default:
 		return core.Config{}, badRequestf("unknown schedule %q (want fcfs, sstf or scan)", r.Schedule)
 	}
-	switch r.Placement {
-	case "", "round-robin":
-		cfg.Placement = layout.RoundRobin
-	case "clustered":
-		cfg.Placement = layout.Clustered
-	case "striped":
-		cfg.Placement = layout.Striped
-	default:
-		return core.Config{}, badRequestf("unknown placement %q (want round-robin, clustered or striped)", r.Placement)
+	placement, err := layout.ParsePlacement(r.Placement)
+	if err != nil {
+		return core.Config{}, badRequestf("%v", err)
 	}
+	cfg.Placement = placement
 	switch r.Admission {
 	case "", "all-or-demand":
 		cfg.Admission = cache.AllOrDemand

@@ -68,6 +68,10 @@ type Options struct {
 	MaxTrials int
 	// MaxPoints bounds sweep batch size (default 512).
 	MaxPoints int
+	// MaxOptimizeEvals bounds one configuration search's evaluation
+	// budget (default 512). Requests asking for more are a 400; requests
+	// asking for less get exactly what they asked for.
+	MaxOptimizeEvals int
 	// Workers caps the engine pool one admitted run fans out over
 	// (default GOMAXPROCS).
 	Workers int
@@ -105,6 +109,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxPoints <= 0 {
 		o.MaxPoints = 512
+	}
+	if o.MaxOptimizeEvals <= 0 {
+		o.MaxOptimizeEvals = 512
 	}
 	if o.MaxTraceEvents <= 0 {
 		o.MaxTraceEvents = 200_000

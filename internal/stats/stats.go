@@ -78,6 +78,25 @@ func (s *Summary) CI95() float64 {
 	return tCrit95(int(s.n-1)) * s.StdErr()
 }
 
+// RelCI returns a confidence half-width as a fraction of the mean's
+// magnitude — the stopping statistic for adaptive-trial loops
+// ("simulate until the estimate is within x% of itself"). It is 0 when
+// the half-width is 0 and +Inf when the mean is exactly zero while the
+// half-width is not.
+func RelCI(halfWidth, mean float64) float64 {
+	if halfWidth == 0 {
+		return 0
+	}
+	if mean == 0 {
+		return math.Inf(1)
+	}
+	return halfWidth / math.Abs(mean)
+}
+
+// RelCI95 returns RelCI of the summary's 95% confidence half-width and
+// mean.
+func (s *Summary) RelCI95() float64 { return RelCI(s.CI95(), s.mean) }
+
 // tCrit95 returns the two-sided 95% Student-t critical value for df
 // degrees of freedom.
 func tCrit95(df int) float64 {
