@@ -67,6 +67,7 @@ func main() {
 		maxEvals  = flag.Int("max-evals", 0, "evaluation budget (0 = service default)")
 		temp      = flag.Float64("temp", 0, "anneal initial temperature (0 = default)")
 		cooling   = flag.Float64("cooling", 0, "anneal cooling factor (0 = default)")
+		steps     = flag.Int("steps", 0, "anneal proposal budget (0 = one less than the evaluation budget)")
 
 		trialsMin = flag.Int("trials-min", 0, "trials per evaluation before checking the CI (0 = 1)")
 		trialsMax = flag.Int("trials-max", 0, "trial escalation ceiling (0 = min)")
@@ -103,10 +104,10 @@ func main() {
 	if *maxSeconds != 0 || *minSuccess != 0 {
 		req.Constraints = &service.ConstraintsRequest{MaxSeconds: *maxSeconds, MinSuccess: *minSuccess}
 	}
-	if *algorithm != "" || *optSeed != 0 || *maxEvals != 0 || *temp != 0 || *cooling != 0 {
+	if *algorithm != "" || *optSeed != 0 || *maxEvals != 0 || *temp != 0 || *cooling != 0 || *steps != 0 {
 		req.Search = &service.SearchRequest{
 			Algorithm: *algorithm, Seed: *optSeed, MaxEvaluations: *maxEvals,
-			Temp: *temp, Cooling: *cooling,
+			Temp: *temp, Cooling: *cooling, Steps: *steps,
 		}
 	}
 	if *trialsMin != 0 || *trialsMax != 0 || *relCI != 0 {
@@ -207,7 +208,7 @@ func summarize(body []byte) {
 	fmt.Printf("evaluations  %d (%d cache-served, %d distinct points)\n",
 		r.Evaluations, r.CacheServed, r.Distinct)
 	if r.Truncated {
-		fmt.Println("truncated    search stopped at the evaluation budget")
+		fmt.Println("truncated    search stopped at the evaluation or visit budget")
 	}
 	infeasible := 0
 	for _, t := range r.Trace {

@@ -235,10 +235,16 @@ type TrialPolicy struct {
 // AnnealParams tune the annealing driver. Temp is the initial relative
 // temperature (uphill moves of Δ = Temp·|current| are accepted with
 // probability 1/e; default 0.2); Cooling is the geometric per-step
-// factor (default 0.98).
+// factor (default 0.98). Steps is the proposal budget: the walk stops
+// normally after this many proposals, so Truncated stays the
+// abnormal-stop signal it is for the other drivers instead of firing
+// on every completed anneal. It defaults to MaxEvaluations−1 — the
+// initial midpoint evaluation plus one evaluation per proposal then
+// exactly fits the evaluation budget.
 type AnnealParams struct {
 	Temp    float64
 	Cooling float64
+	Steps   int
 }
 
 // Spec is one complete search problem.
@@ -255,8 +261,12 @@ type Spec struct {
 	// Seed drives every random draw of the search (only Anneal draws
 	// any). 0 means 1.
 	Seed uint64
-	// MaxEvaluations bounds engine evaluations (default 256). A search
-	// stopped by the budget reports Truncated.
+	// MaxEvaluations bounds engine evaluations (default 256). It also
+	// caps total visited candidates — invalid ones included, which cost
+	// no evaluation — at visitFactor times itself, so a space whose
+	// cross product is mostly (or entirely) unrunnable cannot enumerate
+	// and grow the trace until the context expires. A search stopped by
+	// either budget reports Truncated.
 	MaxEvaluations int
 
 	Trials TrialPolicy
@@ -289,6 +299,12 @@ func (s Spec) withDefaults() Spec {
 	}
 	if s.Anneal.Cooling <= 0 || s.Anneal.Cooling >= 1 {
 		s.Anneal.Cooling = 0.98
+	}
+	if s.Anneal.Steps <= 0 {
+		s.Anneal.Steps = s.MaxEvaluations - 1
+		if s.Anneal.Steps < 1 {
+			s.Anneal.Steps = 1
+		}
 	}
 	return s
 }
@@ -347,6 +363,9 @@ func (s Spec) Validate() error {
 	}
 	if s.Anneal.Cooling < 0 || s.Anneal.Cooling >= 1 {
 		return fmt.Errorf("optimize: anneal cooling %g (want 0 < cooling < 1, or 0 for the default)", s.Anneal.Cooling)
+	}
+	if s.Anneal.Steps < 0 {
+		return fmt.Errorf("optimize: anneal steps %d (want > 0, or 0 for the default)", s.Anneal.Steps)
 	}
 	if s.MaxEvaluations < 0 {
 		return fmt.Errorf("optimize: max evaluations %d", s.MaxEvaluations)

@@ -51,19 +51,24 @@ const (
 
 // TraceEntry is one visited candidate. Objective is the goal-natural
 // value (seconds, overlap, or cost per block — overlap is maximized,
-// the others minimized); it is present only for evaluated points.
+// the others minimized); it is meaningful only for status "ok"
+// entries. The numeric result fields serialize unconditionally — a
+// legitimate value of exactly 0 (possible for overlap or success
+// ratio) must stay distinguishable from "not evaluated", so Status,
+// not field presence, is the discriminator: "invalid" entries were
+// never evaluated and carry all-zero results.
 type TraceEntry struct {
 	Step      int     `json:"step"`
 	Params    Params  `json:"params"`
 	Hash      string  `json:"hash,omitempty"`
 	Status    string  `json:"status"`
-	Objective float64 `json:"objective,omitempty"`
-	Seconds   float64 `json:"seconds,omitempty"`
-	CI95      float64 `json:"ci95_seconds,omitempty"`
-	Overlap   float64 `json:"overlap,omitempty"`
-	Success   float64 `json:"success_ratio,omitempty"`
-	CostRate  float64 `json:"cost_rate,omitempty"`
-	Trials    int     `json:"trials,omitempty"`
+	Objective float64 `json:"objective"`
+	Seconds   float64 `json:"seconds"`
+	CI95      float64 `json:"ci95_seconds"`
+	Overlap   float64 `json:"overlap"`
+	Success   float64 `json:"success_ratio"`
+	CostRate  float64 `json:"cost_rate"`
+	Trials    int     `json:"trials"`
 	Cached    bool    `json:"cached,omitempty"`
 }
 
@@ -81,7 +86,9 @@ type Result struct {
 	Evaluations int  `json:"evaluations"`
 	CacheServed int  `json:"cache_served"`
 	Distinct    int  `json:"distinct_points"`
-	Truncated   bool `json:"truncated,omitempty"` // stopped by MaxEvaluations
+	// Truncated reports an abnormal stop: the search exhausted
+	// MaxEvaluations or the visit bound before its driver finished.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // Run executes the search and returns its result. The error is non-nil
@@ -150,12 +157,20 @@ type searcher struct {
 	bestScore   float64 // its internal (minimized) score
 }
 
-// stopped reports whether the budget is exhausted or the context done.
+// visitFactor bounds the whole walk, not just the evaluated part of
+// it: a driver may visit at most visitFactor × MaxEvaluations
+// candidates. Invalid candidates cost no evaluation, so without this
+// bound a space whose cross product is mostly unrunnable (say k and d
+// ranges where d > k everywhere) would enumerate — and grow the trace
+// — until the context expired, sidestepping MaxEvaluations entirely.
+const visitFactor = 4
+
+// stopped reports whether a budget is exhausted or the context done.
 func (s *searcher) stopped() bool {
 	if s.ctx.Err() != nil {
 		return true
 	}
-	if s.evals >= s.spec.MaxEvaluations {
+	if s.evals >= s.spec.MaxEvaluations || len(s.trace) >= visitFactor*s.spec.MaxEvaluations {
 		s.truncated = true
 		return true
 	}
@@ -364,8 +379,11 @@ func (s *searcher) coordinate() error {
 // anneal is simulated annealing over the space's neighbor graph: one
 // random dimension steps to an adjacent value (±1 index) per proposal,
 // uphill moves are accepted with probability exp(-relΔ/T), and T cools
-// geometrically. All randomness comes from one rng stream seeded by
-// Spec.Seed, so the walk is a pure function of the spec.
+// geometrically. The walk runs its Anneal.Steps proposal budget to
+// completion — that is its normal termination; Truncated fires only
+// when the evaluation or visit budget cuts the schedule short. All
+// randomness comes from one rng stream seeded by Spec.Seed, so the
+// walk is a pure function of the spec.
 func (s *searcher) anneal() error {
 	r := rng.New(s.spec.Seed)
 	cur := s.space.mid()
@@ -384,7 +402,10 @@ func (s *searcher) anneal() error {
 		return nil
 	}
 	temp := s.spec.Anneal.Temp
-	for !s.stopped() {
+	for step := 0; step < s.spec.Anneal.Steps; step++ {
+		if s.stopped() {
+			break
+		}
 		dim := movable[r.Intn(len(movable))]
 		idx := cur[dim]
 		if r.Uint64()&1 == 0 {
@@ -393,8 +414,8 @@ func (s *searcher) anneal() error {
 			idx++
 		}
 		if idx < 0 || idx >= s.space.size(dim) {
-			// Walked off the edge: burn no evaluation, keep cooling so
-			// edge-hugging walks still terminate in spirit.
+			// Walked off the edge: the proposal still spends its step
+			// and cools, it just burns no evaluation.
 			temp *= s.spec.Anneal.Cooling
 			continue
 		}

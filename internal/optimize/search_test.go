@@ -249,6 +249,86 @@ func TestInvalidCandidatesSkipEvaluation(t *testing.T) {
 	}
 }
 
+// TestAllInvalidSpaceStopsAtVisitBudget pins the visit bound: a space
+// whose every candidate fails Config.Validate costs no evaluations, so
+// only the visit budget stands between it and enumerating the whole
+// cross product (or, for anneal, wandering until the context dies).
+func TestAllInvalidSpaceStopsAtVisitBudget(t *testing.T) {
+	for _, alg := range []Algorithm{Grid, Coordinate, Anneal} {
+		ev := &fakeEvaluator{fn: quadratic}
+		spec := Spec{
+			Template:       testTemplate(), // K = 4, so every D below is invalid
+			Space:          Space{D: Dimension{Values: []int{8, 16, 32, 64, 128, 256}}},
+			Algorithm:      alg,
+			MaxEvaluations: 1,
+			Anneal:         AnnealParams{Steps: 1 << 20},
+		}
+		res := mustRun(t, spec, ev)
+		if max := visitFactor * spec.MaxEvaluations; len(res.Trace) > max {
+			t.Errorf("%v: %d visits exceed the visit budget %d", alg, len(res.Trace), max)
+		}
+		if ev.calls != 0 || res.Evaluations != 0 || res.Best != nil {
+			t.Errorf("%v: calls %d evals %d best %+v on an all-invalid space", alg, ev.calls, res.Evaluations, res.Best)
+		}
+		if !res.Truncated {
+			t.Errorf("%v: a visit-budget stop did not report Truncated", alg)
+		}
+	}
+}
+
+// TestAnnealFinishesWithoutTruncation pins that running the cooling
+// schedule to completion is a normal stop, not a truncation: the flag
+// stays reserved for budget exhaustion.
+func TestAnnealFinishesWithoutTruncation(t *testing.T) {
+	spec := quadraticSpec(Anneal)
+	spec.MaxEvaluations = 200 // ample for the default 199-proposal schedule
+	res := mustRun(t, spec, &fakeEvaluator{fn: quadratic})
+	if res.Truncated {
+		t.Errorf("anneal that completed its schedule reported Truncated (evals %d, trace %d)", res.Evaluations, len(res.Trace))
+	}
+	if res.Best == nil {
+		t.Fatal("anneal found no feasible point")
+	}
+	// And a schedule the budget cannot fund still reports the cut.
+	spec.MaxEvaluations = 5
+	spec.Anneal.Steps = 1000
+	res = mustRun(t, spec, &fakeEvaluator{fn: quadratic})
+	if !res.Truncated {
+		t.Error("budget-cut anneal did not report Truncated")
+	}
+}
+
+// TestZeroObjectiveSurvivesJSON pins the wire contract: a legitimate
+// objective (or overlap/success) of exactly 0 must round-trip, so an
+// evaluated entry is distinguished from an unevaluated one by Status,
+// never by field presence.
+func TestZeroObjectiveSurvivesJSON(t *testing.T) {
+	spec := Spec{
+		Template:  testTemplate(),
+		Space:     Space{D: Dimension{Values: []int{1, 2}}},
+		Objective: Objective{Goal: MaxOverlap},
+	}
+	res := mustRun(t, spec, &fakeEvaluator{fn: func(cfg core.Config) Eval {
+		e := flatEval(10, cfg)
+		e.Overlap = 0 // no two disks ever overlapped
+		return e
+	}})
+	if res.Best == nil || res.Best.Objective != 0 {
+		t.Fatalf("best = %+v, want objective exactly 0", res.Best)
+	}
+	var entries []map[string]json.RawMessage
+	if err := json.Unmarshal(traceJSON(t, res), &entries); err != nil {
+		t.Fatalf("unmarshal trace: %v", err)
+	}
+	for i, e := range entries {
+		for _, field := range []string{"objective", "seconds", "ci95_seconds", "overlap", "success_ratio", "cost_rate", "trials"} {
+			if _, ok := e[field]; !ok {
+				t.Errorf("trace[%d] dropped %q for a zero value", i, field)
+			}
+		}
+	}
+}
+
 func TestMaxOverlapGoal(t *testing.T) {
 	spec := Spec{
 		Template:  testTemplate(),

@@ -58,7 +58,8 @@ func FuzzDecodeOptimizeRequest(f *testing.F) {
 	f.Add([]byte(`{"space":{"n":{"values":[1,2,4]}}}`))
 	f.Add([]byte(`{"template":{"k":4,"d":2,"blocks_per_run":40},"space":{"d":{"min":1,"max":2},"strategies":["intra-unsync","inter-sync"]}}`))
 	f.Add([]byte(`{"space":{"cache_blocks":{"values":[-1,0,25]}},"objective":{"goal":"min_cost_per_block","disk_cost":2}}`))
-	f.Add([]byte(`{"space":{"n":{"min":1,"max":8,"step":2}},"search":{"algorithm":"anneal","seed":9,"max_evaluations":32,"temp":0.5,"cooling":0.9}}`))
+	f.Add([]byte(`{"space":{"n":{"min":1,"max":8,"step":2}},"search":{"algorithm":"anneal","seed":9,"max_evaluations":32,"temp":0.5,"cooling":0.9,"steps":20}}`))
+	f.Add([]byte(`{"space":{"d":{"min":5,"max":9}},"search":{"steps":-1}}`))
 	f.Add([]byte(`{"space":{"k":{"values":[4,8]}},"trials":{"min":2,"max":8,"rel_ci95":0.1},"constraints":{"max_seconds":100,"min_success":0.5}}`))
 	f.Add([]byte(`{"space":{"placements":["striped","clustered"]},"figure":true}`))
 	f.Add([]byte(`{"space":{}}`))

@@ -74,6 +74,7 @@ type SearchRequest struct {
 	MaxEvaluations int     `json:"max_evaluations,omitempty"`
 	Temp           float64 `json:"temp,omitempty"`    // anneal initial temperature
 	Cooling        float64 `json:"cooling,omitempty"` // anneal geometric cooling
+	Steps          int     `json:"steps,omitempty"`   // anneal proposal budget (0 = max_evaluations − 1)
 }
 
 // TrialPolicyRequest is the adaptive replication rule: start at min
@@ -193,7 +194,7 @@ func (s *Service) buildSpec(req OptimizeRequest) (optimize.Spec, error) {
 		}
 		spec.Seed = sr.Seed
 		spec.MaxEvaluations = sr.MaxEvaluations
-		spec.Anneal = optimize.AnnealParams{Temp: sr.Temp, Cooling: sr.Cooling}
+		spec.Anneal = optimize.AnnealParams{Temp: sr.Temp, Cooling: sr.Cooling, Steps: sr.Steps}
 	}
 	if spec.MaxEvaluations == 0 && s.opts.MaxOptimizeEvals < 256 {
 		spec.MaxEvaluations = s.opts.MaxOptimizeEvals // keep the package default under the service cap
