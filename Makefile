@@ -39,12 +39,15 @@ lint:
 	fi
 
 # Fuzz smoke: the serving boundary must never panic on arbitrary bytes,
-# and the canonical config encoding must be a decode/encode fixed point.
+# the canonical config encoding must be a decode/encode fixed point, and
+# the disk-cache entry codec must reject every mutation of its one valid
+# serialization per entry.
 FUZZTIME ?= 10s
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzDecodeSimulateRequest$$' -fuzztime $(FUZZTIME) ./internal/service
 	go test -run '^$$' -fuzz '^FuzzDecodeOptimizeRequest$$' -fuzztime $(FUZZTIME) ./internal/service
 	go test -run '^$$' -fuzz '^FuzzCanonicalJSONRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/core
+	go test -run '^$$' -fuzz '^FuzzDecodeDiskCacheEntry$$' -fuzztime $(FUZZTIME) ./internal/diskcache
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -16,6 +16,13 @@
 //
 //	curl -s localhost:8080/v1/simulate -d '{"k":25,"d":5,"n":10,"inter_run":true}'
 //
+// Persistence: -disk-cache-dir backs the in-memory result cache with a
+// crash-safe on-disk tier (see internal/diskcache), so restarts and
+// deploys serve warm instead of re-running every sweep. Entries are
+// CRC-verified on every read, corrupt files are quarantined instead of
+// served, and a failing volume trips the tier to memory-only rather
+// than degrading availability.
+//
 // Observability: -log-json emits one structured log line per request
 // (with the X-Request-ID the daemon assigns or echoes), and
 // -pprof-addr serves net/http/pprof on a separate listener so profiling
@@ -42,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/diskcache"
 	"repro/internal/service"
 )
 
@@ -50,6 +58,8 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address (use :0 for a random port)")
 		cacheEntries = flag.Int("cache", 1024, "result cache capacity in entries")
 		cacheBytes   = flag.Int64("cache-bytes", 256<<20, "result cache capacity in bytes (bodies only; -1 = unbounded)")
+		diskDir      = flag.String("disk-cache-dir", "", "directory for the persistent result-cache tier (empty = memory-only)")
+		diskBytes    = flag.Int64("disk-cache-bytes", 1<<30, "disk-tier capacity in bytes (-1 = unbounded)")
 		maxConc      = flag.Int("max-concurrent", 0, "max concurrent engine runs (0 = GOMAXPROCS)")
 		maxQueue     = flag.Int("queue", 0, "max runs queued for a slot before shedding with 429 (0 = 4x max-concurrent)")
 		timeout      = flag.Duration("request-timeout", 60*time.Second, "per-request budget: queue wait + engine run")
@@ -69,6 +79,23 @@ func main() {
 		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 
+	// The persistent tier is opened here, not inside the service: a bad
+	// cache directory should kill the daemon at startup with a clear
+	// error, while a volume that starts dying later is the disk tier's
+	// circuit breaker's problem, and the daemon keeps serving
+	// memory-only.
+	var disk *diskcache.Cache
+	if *diskDir != "" {
+		var err error
+		disk, err = diskcache.Open(diskcache.Options{Dir: *diskDir, MaxBytes: *diskBytes})
+		if err != nil {
+			log.Fatalf("simd: disk cache: %v", err)
+		}
+		st := disk.Stats()
+		fmt.Printf("simd: disk cache %s: %d entries / %d bytes recovered, %d quarantined\n",
+			*diskDir, st.Entries, st.Bytes, st.Quarantined)
+	}
+
 	svc := service.New(service.Options{
 		CacheEntries:     *cacheEntries,
 		CacheBytes:       *cacheBytes,
@@ -81,6 +108,7 @@ func main() {
 		Workers:          *workers,
 		MaxTraceEvents:   *maxTraceEv,
 		Logger:           logger,
+		DiskCache:        disk,
 	})
 
 	// pprof gets its own listener and mux so profiling endpoints are
@@ -139,7 +167,16 @@ func main() {
 	if err := svc.Drain(shutdownCtx); err != nil && !errors.Is(err, context.Canceled) {
 		log.Printf("simd: drain: %v", err)
 	}
+	// After Drain no engine run can still write: flush the disk tier's
+	// recency index so the next start restores exact LRU order.
+	if err := svc.Close(); err != nil {
+		log.Printf("simd: close: %v", err)
+	}
 	st := svc.StatsSnapshot()
 	log.Printf("simd: drained (cache %d entries / %d bytes, %d hits, %d misses, %d deduped)",
 		st.CacheEntries, st.CacheBytes, st.CacheHits, st.CacheMisses, st.DedupShared)
+	if *diskDir != "" {
+		log.Printf("simd: disk cache (state %d, %d entries / %d bytes, %d hits, %d writes, %d evicted, %d quarantined)",
+			st.Disk.State, st.Disk.Entries, st.Disk.Bytes, st.Disk.Hits, st.Disk.Writes, st.Disk.Evictions, st.Disk.Quarantined)
+	}
 }

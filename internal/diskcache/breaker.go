@@ -1,0 +1,89 @@
+package diskcache
+
+// Breaker states, exported through Stats.State and the
+// simd_disk_cache_state gauge.
+const (
+	// StateClosed: the disk tier is healthy; every operation reaches it.
+	StateClosed = 0
+	// StateHalfOpen: the tier tripped and has now skipped enough
+	// operations that the next one is let through as a recovery probe.
+	StateHalfOpen = 1
+	// StateOpen: too many consecutive I/O failures; operations are
+	// answered memory-only (a Get is a fast miss, a Put is dropped)
+	// without touching the disk.
+	StateOpen = 2
+)
+
+// breaker is the disk tier's error-budget circuit breaker. It is
+// deliberately counter-based, not clock-based: N consecutive I/O
+// failures trip it open, the next K skipped operations re-arm it to
+// half-open, and the single operation let through as the half-open
+// probe decides — success closes the breaker, failure re-opens it.
+// Counting operations instead of wall time keeps the state machine a
+// pure function of the operation history, so tests (and replays) are
+// deterministic and the package needs no clock.
+//
+// Not self-locking: the owning Cache's mutex guards it.
+type breaker struct {
+	threshold  int // consecutive failures that trip the breaker
+	probeEvery int // skipped operations between half-open probes
+
+	state    int
+	failures int // consecutive failures while closed
+	skipped  int // operations skipped while open
+}
+
+func newBreaker(threshold, probeEvery int) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if probeEvery < 1 {
+		probeEvery = 1
+	}
+	return &breaker{threshold: threshold, probeEvery: probeEvery}
+}
+
+// allow reports whether the next disk operation may proceed. While
+// open it counts the operations it turns away; once probeEvery of
+// them have been skipped it re-arms to half-open (that operation is
+// still skipped), and the one after runs as the recovery probe — so a
+// dead volume is re-probed every K operations rather than never, and
+// the half-open state is observable on the state gauge between the
+// re-arm and the probe.
+func (b *breaker) allow() bool {
+	switch b.state {
+	case StateClosed, StateHalfOpen:
+		return true
+	default: // StateOpen
+		b.skipped++
+		if b.skipped >= b.probeEvery {
+			b.state = StateHalfOpen
+		}
+		return false
+	}
+}
+
+// success records a disk operation that completed; any state collapses
+// back to closed.
+func (b *breaker) success() {
+	b.state = StateClosed
+	b.failures = 0
+	b.skipped = 0
+}
+
+// failure records a disk I/O failure. A half-open probe failing
+// re-opens immediately; while closed, the trip waits for threshold
+// consecutive failures so one transient error never degrades the tier.
+func (b *breaker) failure() {
+	switch b.state {
+	case StateHalfOpen:
+		b.state = StateOpen
+		b.skipped = 0
+	case StateClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = StateOpen
+			b.skipped = 0
+		}
+	}
+}

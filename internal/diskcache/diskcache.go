@@ -1,0 +1,492 @@
+// Package diskcache is the persistent second tier of the simd result
+// cache: one file per entry under a directory, behind the in-memory
+// LRU and in front of the engine. It is built for the failure modes a
+// long-lived daemon actually meets, in order of importance:
+//
+//   - Crash mid-write. Entries are written to a temp file, fsynced,
+//     and atomically renamed into place, so a SIGKILL at any
+//     instruction leaves either the complete entry or an orphan temp
+//     file the next start removes — never a half-entry under the
+//     final name.
+//   - Corruption on disk. Every entry is framed (versioned magic,
+//     lengths, embedded key) and sealed with a CRC32-C trailer; the
+//     open-time recovery scan and every read re-verify it. A file
+//     that fails is moved to <dir>/quarantine/ and counted — it is
+//     never served, and never silently deleted (operators can
+//     inspect what the volume did to it).
+//   - A dying volume. Every disk operation feeds an error-budget
+//     circuit breaker: consecutive I/O failures trip the tier to
+//     memory-only, periodic half-open probes let it recover, and the
+//     caller sees fast misses instead of hanging syscalls. The tier
+//     degrades throughput, never availability or correctness.
+//
+// Eviction is LRU by access under a byte budget. Recency survives a
+// graceful Close via a small index file; after a crash the scan falls
+// back to file modification times, which is an approximation the LRU
+// repairs as traffic touches entries.
+//
+// The cache never trusts its own index over the bytes on disk: a hit
+// is only a hit after the entry re-decodes and its embedded key
+// matches, so a renamed or recycled file can not serve the wrong body.
+package diskcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	entrySuffix   = ".sce" // simd cache entry
+	tmpSuffix     = ".tmp"
+	indexName     = "INDEX"
+	indexHeader   = "sdcindex v1"
+	quarantineDir = "quarantine"
+)
+
+// Options configures Open. Zero values take the documented defaults.
+type Options struct {
+	// Dir is the cache directory (required). Created if absent, along
+	// with Dir/quarantine.
+	Dir string
+	// MaxBytes bounds the total size of entry files (default 1 GiB;
+	// negative disables the bound). Entries larger than the whole
+	// budget are rejected, counted, and never written.
+	MaxBytes int64
+	// FailureThreshold is the number of consecutive disk I/O failures
+	// that trip the tier to memory-only (default 5).
+	FailureThreshold int
+	// ProbeEvery is the number of operations skipped while tripped
+	// before one is let through as a half-open recovery probe
+	// (default 16).
+	ProbeEvery int
+
+	// FailOp is a test hook: when non-nil it is consulted before each
+	// disk operation with "get" or "put", and a non-nil return is
+	// treated as that operation's I/O failure. Production callers
+	// leave it nil.
+	FailOp func(op string) error
+	// TornWrite is a test hook for the atomic-write path: when non-nil
+	// and it returns a non-nil slice for an entry, Put writes that slice
+	// directly to the final path — no temp file, no fsync, no rename —
+	// and stops, simulating a machine crash that tore the entry after
+	// the process thought it was written. The next Open must quarantine
+	// it. Production callers leave it nil.
+	TornWrite func(key string, encoded []byte) []byte
+}
+
+// Stats is a point-in-time snapshot of the tier's counters, the source
+// for the simd_disk_cache_* metric families.
+type Stats struct {
+	Hits        int64 // entries served (decoded and CRC-verified)
+	Misses      int64 // lookups not served, breaker skips included
+	Writes      int64 // entries durably written
+	Evictions   int64 // entries removed to fit the byte budget
+	Quarantined int64 // corrupt files moved aside, scan and read time
+	Rejected    int64 // bodies larger than the whole budget, dropped
+	Entries     int   // servable entries in the index
+	Bytes       int64 // total size of servable entry files
+	State       int   // breaker state: StateClosed/StateHalfOpen/StateOpen
+}
+
+// Cache is the persistent tier. Create with Open; safe for concurrent
+// use. One mutex guards index and I/O alike: the engine work this tier
+// fronts is orders of magnitude slower than an entry file read, so
+// single-writer simplicity wins over lock granularity.
+type Cache struct {
+	dir  string
+	opts Options
+
+	mu    sync.Mutex
+	ll    *list.List // front = most recently used
+	index map[string]*list.Element
+	bytes int64
+	brk   *breaker
+
+	hits, misses, writes   int64
+	evictions, quarantined int64
+	rejected               int64
+}
+
+// entry is one servable file in the index.
+type entry struct {
+	key  string
+	name string // file name under dir (hash of key + entrySuffix)
+	size int64
+	hits int // in-memory access count, feeds scan-resistant promotion
+}
+
+// entryName maps a cache key to its file name. Keys contain '/' (hash
+// slash trial count), so the name is a digest, and the embedded key in
+// the file is what proves the mapping on every read.
+func entryName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + entrySuffix
+}
+
+// Open creates or recovers the cache at opts.Dir. The recovery scan
+// reads and fully verifies every entry file: valid ones enter the
+// index, corrupt ones move to quarantine, orphan temp files from an
+// interrupted write are removed. Recency is restored from the index
+// file a graceful Close wrote, with modification-time order as the
+// fallback for entries written after the last flush (or after a
+// crash). The byte budget is enforced before Open returns.
+func Open(opts Options) (*Cache, error) {
+	if opts.Dir == "" {
+		return nil, fmt.Errorf("diskcache: Options.Dir is required")
+	}
+	switch {
+	case opts.MaxBytes == 0:
+		opts.MaxBytes = 1 << 30
+	case opts.MaxBytes < 0:
+		opts.MaxBytes = 0 // unbounded
+	}
+	if opts.FailureThreshold <= 0 {
+		opts.FailureThreshold = 5
+	}
+	if opts.ProbeEvery <= 0 {
+		opts.ProbeEvery = 16
+	}
+	if err := os.MkdirAll(filepath.Join(opts.Dir, quarantineDir), 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	c := &Cache{
+		dir:   opts.Dir,
+		opts:  opts,
+		ll:    list.New(),
+		index: make(map[string]*list.Element),
+		brk:   newBreaker(opts.FailureThreshold, opts.ProbeEvery),
+	}
+	if err := c.recover(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// recover is the open-time scan described on Open.
+func (c *Cache) recover() error {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("diskcache: %w", err)
+	}
+	type found struct {
+		e     entry
+		mtime int64 // unix nanos, for the fallback ordering
+	}
+	byName := make(map[string]found)
+	var names []string
+	for _, de := range ents {
+		name := de.Name()
+		switch {
+		case de.IsDir():
+			continue
+		case strings.HasSuffix(name, tmpSuffix):
+			// An interrupted write's temp file: never renamed, so never
+			// servable. Removing it is the whole cleanup.
+			os.Remove(filepath.Join(c.dir, name))
+			continue
+		case name == indexName || !strings.HasSuffix(name, entrySuffix):
+			continue
+		}
+		path := filepath.Join(c.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			// Unreadable at scan time: treat like corruption and move it
+			// aside so the serving path never meets it.
+			c.quarantineFile(name)
+			continue
+		}
+		key, _, derr := DecodeEntry(data)
+		if derr != nil || entryName(key) != name {
+			c.quarantineFile(name)
+			continue
+		}
+		info, err := de.Info()
+		var mtime int64
+		if err == nil {
+			mtime = info.ModTime().UnixNano()
+		}
+		byName[name] = found{e: entry{key: key, name: name, size: int64(len(data))}, mtime: mtime}
+		names = append(names, name)
+	}
+
+	// Recency: the index file (graceful close) lists names LRU-first;
+	// entries it does not know about are newer than the flush (or the
+	// flush never happened), so they follow in modification-time order.
+	ordered := make([]string, 0, len(names))
+	inIndex := make(map[string]bool)
+	for _, name := range c.readIndexFile() {
+		if _, ok := byName[name]; ok && !inIndex[name] {
+			ordered = append(ordered, name)
+			inIndex[name] = true
+		}
+	}
+	rest := names[:0]
+	for _, name := range names {
+		if !inIndex[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if byName[rest[i]].mtime != byName[rest[j]].mtime {
+			return byName[rest[i]].mtime < byName[rest[j]].mtime
+		}
+		return rest[i] < rest[j]
+	})
+	ordered = append(ordered, rest...)
+
+	for _, name := range ordered {
+		f := byName[name]
+		e := f.e
+		c.index[e.key] = c.ll.PushFront(&e)
+		c.bytes += e.size
+	}
+	// Budget may have shrunk since the files were written.
+	c.evictLocked()
+	return nil
+}
+
+// readIndexFile returns the recency order (LRU-first) a graceful Close
+// persisted, or nil: the index is an ordering hint, so a missing,
+// stale, or torn one costs accuracy, never correctness.
+func (c *Cache) readIndexFile() []string {
+	data, err := os.ReadFile(filepath.Join(c.dir, indexName))
+	if err != nil {
+		return nil
+	}
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || lines[0] != indexHeader {
+		return nil
+	}
+	return lines[1:]
+}
+
+// Get returns the stored body for key and whether it was served, plus
+// the entry's access count so the caller can promote scan-resistantly
+// (first disk hit: serve from disk; second: worth memory). A hit is
+// only reported after the file re-decodes and its embedded key
+// matches — a corrupt or mismatched file is quarantined and reported
+// as a miss.
+func (c *Cache) Get(key string) (body []byte, hits int, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, present := c.index[key]
+	if !present {
+		c.misses++
+		return nil, 0, false
+	}
+	if !c.brk.allow() {
+		c.misses++
+		return nil, 0, false
+	}
+	e := el.Value.(*entry)
+	data, err := c.readEntry(e.name)
+	if err != nil {
+		c.brk.failure()
+		c.misses++
+		return nil, 0, false
+	}
+	gotKey, gotBody, derr := DecodeEntry(data)
+	if derr != nil || gotKey != key {
+		// Corruption under an indexed entry: the volume changed the
+		// bytes after we wrote them. Quarantine is a containment
+		// action, not an I/O failure — the breaker only judges whether
+		// the disk answers, and it just did.
+		c.brk.success()
+		c.dropLocked(el)
+		c.quarantineFile(e.name)
+		c.misses++
+		return nil, 0, false
+	}
+	c.brk.success()
+	c.ll.MoveToFront(el)
+	e.hits++
+	c.hits++
+	return gotBody, e.hits, true
+}
+
+// readEntry reads one entry file, honoring the fault-injection hook.
+func (c *Cache) readEntry(name string) ([]byte, error) {
+	if c.opts.FailOp != nil {
+		if err := c.opts.FailOp("get"); err != nil {
+			return nil, err
+		}
+	}
+	return os.ReadFile(filepath.Join(c.dir, name))
+}
+
+// Put stores body under key. Storage failures are absorbed (the body
+// stays servable from the memory tier and the flight that produced
+// it); the breaker decides when to stop trying at all. A body whose
+// entry would exceed the whole budget is rejected and counted. Callers
+// must not mutate body afterwards.
+func (c *Cache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[key]; ok {
+		// Results are deterministic: same key means same bytes, and the
+		// scan or a previous Put verified them. Refresh recency only.
+		c.ll.MoveToFront(el)
+		return
+	}
+	encoded := EncodeEntry(key, body)
+	size := int64(len(encoded))
+	if c.opts.MaxBytes > 0 && size > c.opts.MaxBytes {
+		c.rejected++
+		return
+	}
+	if !c.brk.allow() {
+		return
+	}
+	if c.opts.FailOp != nil {
+		if err := c.opts.FailOp("put"); err != nil {
+			c.brk.failure()
+			return
+		}
+	}
+	name := entryName(key)
+	if c.opts.TornWrite != nil {
+		if torn := c.opts.TornWrite(key, encoded); torn != nil {
+			// Simulated machine crash: the entry lands torn under its
+			// final name and this process never indexes it. The next
+			// Open's scan must quarantine it.
+			os.WriteFile(filepath.Join(c.dir, name), torn, 0o644)
+			return
+		}
+	}
+	// Evict before writing so the budget holds even at the peak.
+	c.bytes += size
+	c.evictLocked()
+	if err := c.writeAtomic(name, encoded); err != nil {
+		c.bytes -= size
+		c.brk.failure()
+		return
+	}
+	c.brk.success()
+	c.index[key] = c.ll.PushFront(&entry{key: key, name: name, size: size})
+	c.writes++
+}
+
+// writeAtomic is the crash-safe write: temp file in the same
+// directory, contents fsynced, atomic rename over the final name,
+// directory fsynced best-effort (the rename is durable on its own for
+// correctness — the directory sync narrows the window in which a
+// power cut forgets a *successful* write, it never risks a torn one).
+func (c *Cache) writeAtomic(name string, data []byte) error {
+	tmp := filepath.Join(c.dir, name+tmpSuffix)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(c.dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(c.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// evictLocked removes least-recently-used entries until the byte
+// budget holds. A file the OS refuses to delete is still dropped from
+// the index (and the accounting): the next recovery scan will meet it
+// again and either re-admit or re-evict it, which is the safe side of
+// double-counting the budget forever.
+func (c *Cache) evictLocked() {
+	if c.opts.MaxBytes <= 0 {
+		return
+	}
+	for c.bytes > c.opts.MaxBytes && c.ll.Len() > 0 {
+		el := c.ll.Back()
+		e := el.Value.(*entry)
+		c.dropLocked(el)
+		os.Remove(filepath.Join(c.dir, e.name))
+		c.evictions++
+	}
+}
+
+// dropLocked removes one element from the index and the accounting.
+func (c *Cache) dropLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.index, e.key)
+	c.bytes -= e.size
+}
+
+// quarantineFile moves a corrupt file aside and counts it. Quarantine
+// keeps the evidence: operators can diff the file against what
+// EncodeEntry would have produced and learn how the volume is failing.
+// If even the rename fails, fall back to removal — a corrupt file must
+// never stay where the scan could meet it again.
+func (c *Cache) quarantineFile(name string) {
+	src := filepath.Join(c.dir, name)
+	if err := os.Rename(src, filepath.Join(c.dir, quarantineDir, name)); err != nil {
+		os.Remove(src)
+	}
+	c.quarantined++
+}
+
+// Close flushes the recency index so the next Open restores LRU order
+// exactly. Entry files need no flush — every one was durable the
+// moment its Put returned. Close is part of graceful drain; a crash
+// that skips it costs the ordering hint, nothing else.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sb strings.Builder
+	sb.WriteString(indexHeader)
+	for el := c.ll.Back(); el != nil; el = el.Prev() { // LRU-first
+		sb.WriteString("\n")
+		sb.WriteString(el.Value.(*entry).name)
+	}
+	if err := c.writeAtomic(indexName, []byte(sb.String())); err != nil {
+		return fmt.Errorf("diskcache: flush index: %w", err)
+	}
+	return nil
+}
+
+// Stats returns a consistent snapshot of the tier's counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Writes:      c.writes,
+		Evictions:   c.evictions,
+		Quarantined: c.quarantined,
+		Rejected:    c.rejected,
+		Entries:     c.ll.Len(),
+		Bytes:       c.bytes,
+		State:       c.brk.state,
+	}
+}
+
+// Len reports the number of servable entries (tests and logs).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

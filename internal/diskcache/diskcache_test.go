@@ -1,0 +1,326 @@
+package diskcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustOpen(t *testing.T, opts Options) *Cache {
+	t.Helper()
+	c, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := mustOpen(t, Options{Dir: t.TempDir()})
+	body := []byte(`{"mean_seconds":1.25}`)
+	c.Put("abc/3", body)
+	got, hits, ok := c.Get("abc/3")
+	if !ok || !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, %v; want stored body", got, ok)
+	}
+	if hits != 1 {
+		t.Fatalf("hits = %d, want 1 on first access", hits)
+	}
+	if _, hits, _ = c.Get("abc/3"); hits != 2 {
+		t.Fatalf("hits = %d, want 2 on second access", hits)
+	}
+	st := c.Stats()
+	if st.Writes != 1 || st.Hits != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if _, _, ok := c.Get("nope"); ok {
+		t.Fatal("Get of absent key succeeded")
+	}
+	if st := c.Stats(); st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+}
+
+func TestPutRefreshDoesNotRewrite(t *testing.T) {
+	c := mustOpen(t, Options{Dir: t.TempDir()})
+	c.Put("k/1", []byte("body"))
+	c.Put("k/1", []byte("body"))
+	if st := c.Stats(); st.Writes != 1 || st.Entries != 1 {
+		t.Fatalf("stats after duplicate put = %+v, want one write, one entry", st)
+	}
+}
+
+// TestRecoveryAfterCrash reopens a directory that was never Closed —
+// the SIGKILL-equivalent. Every completed Put must be servable with
+// byte-identical bodies; an interrupted write's temp file must be
+// swept; a torn entry (machine-crash writeback loss, injected through
+// the atomic-write hook) must be quarantined, not served.
+func TestRecoveryAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	torn := false
+	c := mustOpen(t, Options{Dir: dir, TornWrite: func(key string, encoded []byte) []byte {
+		if !torn {
+			return nil
+		}
+		return encoded[:len(encoded)/2] // half the entry reached the platter
+	}})
+	bodies := map[string][]byte{}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("key%d/1", i)
+		bodies[key] = []byte(strings.Repeat(fmt.Sprintf("body-%d ", i), 10))
+		c.Put(key, bodies[key])
+	}
+	torn = true
+	c.Put("torn/1", []byte("this entry dies in the machine crash"))
+	// An orphan temp file from a write the crash interrupted earlier.
+	if err := os.WriteFile(filepath.Join(dir, "deadbeef"+entrySuffix+tmpSuffix), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: the process is gone.
+
+	r := mustOpen(t, Options{Dir: dir})
+	if st := r.Stats(); st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1 (the torn entry)", st.Quarantined)
+	}
+	if got, err := filepath.Glob(filepath.Join(dir, quarantineDir, "*")); err != nil || len(got) != 1 {
+		t.Fatalf("quarantine dir holds %v (err %v), want the one torn file", got, err)
+	}
+	if got, err := filepath.Glob(filepath.Join(dir, "*"+tmpSuffix)); err != nil || len(got) != 0 {
+		t.Fatalf("temp files survived recovery: %v (err %v)", got, err)
+	}
+	if _, _, ok := r.Get("torn/1"); ok {
+		t.Fatal("torn entry was served")
+	}
+	for key, want := range bodies {
+		got, _, ok := r.Get(key)
+		if !ok {
+			t.Fatalf("%s lost across crash-restart", key)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s body differs across crash-restart", key)
+		}
+	}
+}
+
+// TestCloseRestoresLRUOrder checks that a graceful Close persists
+// recency: after reopening, the entry that was least recently used
+// before the close is the one a budget squeeze evicts first.
+func TestCloseRestoresLRUOrder(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, Options{Dir: dir})
+	pad := strings.Repeat("x", 100)
+	c.Put("old/1", []byte("old"+pad))
+	c.Put("mid/1", []byte("mid"+pad))
+	c.Put("hot/1", []byte("hot"+pad))
+	c.Get("old/1") // touch: now mid/1 is the LRU entry
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	entrySize := int64(len(EncodeEntry("old/1", []byte("old"+pad))))
+	r := mustOpen(t, Options{Dir: dir, MaxBytes: 2 * entrySize})
+	if st := r.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1 under the shrunk budget", st.Evictions)
+	}
+	if _, _, ok := r.Get("mid/1"); ok {
+		t.Fatal("mid/1 survived, but it was least recently used at close")
+	}
+	for _, kept := range []string{"old/1", "hot/1"} {
+		if _, _, ok := r.Get(kept); !ok {
+			t.Fatalf("%s was evicted though it was more recent", kept)
+		}
+	}
+}
+
+func TestEvictionUnderByteBudget(t *testing.T) {
+	entry := func(i int) (string, []byte) {
+		return fmt.Sprintf("k%d/1", i), bytes.Repeat([]byte{byte('a' + i)}, 64)
+	}
+	k0, b0 := entry(0)
+	budget := 3 * int64(len(EncodeEntry(k0, b0)))
+	c := mustOpen(t, Options{Dir: t.TempDir(), MaxBytes: budget})
+	for i := 0; i < 5; i++ {
+		k, b := entry(i)
+		c.Put(k, b)
+	}
+	st := c.Stats()
+	if st.Entries != 3 || st.Evictions != 2 {
+		t.Fatalf("entries %d evictions %d, want 3 and 2", st.Entries, st.Evictions)
+	}
+	if st.Bytes > budget {
+		t.Fatalf("bytes %d over budget %d", st.Bytes, budget)
+	}
+	for _, gone := range []int{0, 1} {
+		k, _ := entry(gone)
+		if _, _, ok := c.Get(k); ok {
+			t.Fatalf("%s survived eviction", k)
+		}
+	}
+	for _, kept := range []int{2, 3, 4} {
+		k, b := entry(kept)
+		got, _, ok := c.Get(k)
+		if !ok || !bytes.Equal(got, b) {
+			t.Fatalf("%s = %q, %v", k, got, ok)
+		}
+	}
+}
+
+func TestOversizedBodyRejected(t *testing.T) {
+	c := mustOpen(t, Options{Dir: t.TempDir(), MaxBytes: 64})
+	c.Put("big/1", bytes.Repeat([]byte("x"), 256))
+	st := c.Stats()
+	if st.Rejected != 1 || st.Writes != 0 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want the oversized body rejected, nothing written", st)
+	}
+}
+
+// TestCorruptEntryQuarantinedOnRead flips bytes in a stored entry
+// behind the cache's back; the next Get must quarantine it and report
+// a miss, never serve the altered body.
+func TestCorruptEntryQuarantinedOnRead(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, Options{Dir: dir})
+	c.Put("victim/1", []byte("precious bytes"))
+	path := filepath.Join(dir, entryName("victim/1"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Get("victim/1"); ok {
+		t.Fatal("corrupt entry was served")
+	}
+	st := c.Stats()
+	if st.Quarantined != 1 || st.Entries != 0 {
+		t.Fatalf("stats = %+v, want the entry quarantined and dropped", st)
+	}
+	if st.State != StateClosed {
+		t.Fatalf("breaker state = %d after corruption, want closed (the disk answered)", st.State)
+	}
+	// A later Put of the same key stores a fresh, servable entry.
+	c.Put("victim/1", []byte("precious bytes"))
+	if got, _, ok := c.Get("victim/1"); !ok || string(got) != "precious bytes" {
+		t.Fatalf("re-put entry = %q, %v", got, ok)
+	}
+}
+
+// TestBreakerTripsAndRecovers forces I/O failures until the tier goes
+// memory-only, then lets the volume heal and asserts a half-open probe
+// closes the breaker again.
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	injected := errors.New("injected EIO")
+	c := mustOpen(t, Options{
+		Dir:              t.TempDir(),
+		FailureThreshold: 3,
+		ProbeEvery:       4,
+	})
+	c.Put("seed/1", []byte("seed")) // stored while healthy
+	c.opts.FailOp = func(op string) error { return injected }
+
+	for i := 0; i < 3; i++ {
+		if _, _, ok := c.Get("seed/1"); ok {
+			t.Fatal("failing get served a body")
+		}
+	}
+	if st := c.Stats(); st.State != StateOpen {
+		t.Fatalf("state = %d after %d failures, want open", st.State, 3)
+	}
+	// While open, operations are skipped without touching the hook.
+	calls := 0
+	c.opts.FailOp = func(op string) error { calls++; return injected }
+	for i := 0; i < 3; i++ {
+		c.Get("seed/1")
+	}
+	if calls != 0 {
+		t.Fatalf("tripped tier still reached the disk %d times", calls)
+	}
+	// The 4th skipped operation re-arms to half-open; the probe runs,
+	// still fails, and the breaker re-opens.
+	c.Get("seed/1")
+	if st := c.Stats(); st.State != StateHalfOpen {
+		t.Fatalf("state = %d, want half-open after ProbeEvery skips", st.State)
+	}
+	c.Get("seed/1") // the probe
+	if st := c.Stats(); st.State != StateOpen {
+		t.Fatalf("state = %d, want re-opened after a failed probe", st.State)
+	}
+
+	// Volume heals: the next probe succeeds and the tier closes.
+	c.opts.FailOp = nil
+	for i := 0; i < 4; i++ {
+		c.Get("seed/1") // skips, then half-open
+	}
+	got, _, ok := c.Get("seed/1") // the probe, against a healthy disk
+	if !ok || string(got) != "seed" {
+		t.Fatalf("probe get = %q, %v; want the stored body", got, ok)
+	}
+	if st := c.Stats(); st.State != StateClosed {
+		t.Fatalf("state = %d after successful probe, want closed", st.State)
+	}
+}
+
+// TestWrongKeyFileNotServed plants a valid entry file under the name
+// of a different key (a recycled or mis-renamed file): the embedded
+// key check must refuse it at open time.
+func TestWrongKeyFileNotServed(t *testing.T) {
+	dir := t.TempDir()
+	c := mustOpen(t, Options{Dir: dir})
+	c.Put("honest/1", []byte("honest body"))
+	// A valid entry for another key, copied over honest/1's file.
+	if err := os.WriteFile(filepath.Join(dir, entryName("honest/1")), EncodeEntry("impostor/1", []byte("wrong body")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := mustOpen(t, Options{Dir: dir})
+	if _, _, ok := r.Get("honest/1"); ok {
+		t.Fatal("mismatched entry was served")
+	}
+	if st := r.Stats(); st.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		key  string
+		body string
+	}{
+		{"a/1", ""},
+		{"deadbeef/64", `{"mean_seconds":0.5}`},
+		{strings.Repeat("k", 80), strings.Repeat("v", 4096)},
+	} {
+		enc := EncodeEntry(tc.key, []byte(tc.body))
+		key, body, err := DecodeEntry(enc)
+		if err != nil {
+			t.Fatalf("decode(encode(%q)): %v", tc.key, err)
+		}
+		if key != tc.key || string(body) != tc.body {
+			t.Fatalf("round trip (%q, %q) → (%q, %q)", tc.key, tc.body, key, body)
+		}
+	}
+}
+
+func TestDecodeRejectsMutations(t *testing.T) {
+	enc := EncodeEntry("key/2", []byte("some body bytes"))
+	cases := map[string][]byte{
+		"empty":            {},
+		"short":            enc[:8],
+		"truncated":        enc[:len(enc)-1],
+		"trailing garbage": append(append([]byte{}, enc...), 0x00),
+		"bad magic":        append([]byte("XXXX"), enc[4:]...),
+	}
+	flipped := append([]byte{}, enc...)
+	flipped[headerSize+2] ^= 0x01
+	cases["bit flip"] = flipped
+	for name, data := range cases {
+		if _, _, err := DecodeEntry(data); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+}

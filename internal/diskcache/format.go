@@ -1,0 +1,90 @@
+package diskcache
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// On-disk entry format, version 1. One file per cache entry:
+//
+//	offset 0   magic "SDC1" (4 bytes; the digit is the format version)
+//	offset 4   key length, uint32 big-endian
+//	offset 8   body length, uint32 big-endian
+//	offset 12  key bytes
+//	...        body bytes
+//	trailer    CRC32-C (Castagnoli) over everything before it, uint32 BE
+//
+// The format is canonical: a file is valid iff it is byte-for-byte what
+// EncodeEntry produces for its (key, body), with nothing missing and
+// nothing appended. Truncation, bit rot, a torn page of zeros, or a
+// foreign file all fail DecodeEntry, which is what lets the recovery
+// scan sort a directory into servable entries and quarantine.
+const (
+	magic      = "SDC1"
+	headerSize = 12 // magic + keyLen + bodyLen
+	crcSize    = 4
+
+	// maxKeyLen bounds the embedded key (cache keys are a 64-hex-char
+	// hash plus a trial count; 4 KiB is generous headroom).
+	maxKeyLen = 4096
+	// maxBodyLen bounds one stored body. The service caps cached bodies
+	// far below this; the decoder bound exists so a corrupt length field
+	// cannot demand a giant slice.
+	maxBodyLen = 1 << 30
+)
+
+// castagnoli is the CRC32-C table (the polynomial with hardware support
+// on amd64/arm64, the same one used by iSCSI and ext4 metadata).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks a file that is not a valid cache entry: wrong magic,
+// impossible lengths, truncation, trailing bytes, or a CRC mismatch.
+// The recovery scan and the read path quarantine on it.
+var ErrCorrupt = errors.New("diskcache: corrupt entry")
+
+// EncodeEntry renders one cache entry in the on-disk format.
+func EncodeEntry(key string, body []byte) []byte {
+	buf := make([]byte, headerSize+len(key)+len(body)+crcSize)
+	copy(buf, magic)
+	binary.BigEndian.PutUint32(buf[4:], uint32(len(key)))
+	binary.BigEndian.PutUint32(buf[8:], uint32(len(body)))
+	copy(buf[headerSize:], key)
+	copy(buf[headerSize+len(key):], body)
+	sum := crc32.Checksum(buf[:len(buf)-crcSize], castagnoli)
+	binary.BigEndian.PutUint32(buf[len(buf)-crcSize:], sum)
+	return buf
+}
+
+// DecodeEntry validates data as one on-disk entry and returns the
+// embedded key and body. The body aliases data — callers that keep it
+// must not mutate data afterwards. Every failure wraps ErrCorrupt with
+// the first check that failed, so quarantine logs say why.
+func DecodeEntry(data []byte) (key string, body []byte, err error) {
+	if len(data) < headerSize+crcSize {
+		return "", nil, fmt.Errorf("%w: %d bytes, shorter than any entry", ErrCorrupt, len(data))
+	}
+	if string(data[:4]) != magic {
+		return "", nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:4])
+	}
+	keyLen := binary.BigEndian.Uint32(data[4:])
+	bodyLen := binary.BigEndian.Uint32(data[8:])
+	if keyLen == 0 || keyLen > maxKeyLen {
+		return "", nil, fmt.Errorf("%w: key length %d out of range", ErrCorrupt, keyLen)
+	}
+	if bodyLen > maxBodyLen {
+		return "", nil, fmt.Errorf("%w: body length %d out of range", ErrCorrupt, bodyLen)
+	}
+	want := headerSize + int(keyLen) + int(bodyLen) + crcSize
+	if len(data) != want {
+		return "", nil, fmt.Errorf("%w: %d bytes, header promises %d (truncated or trailing garbage)", ErrCorrupt, len(data), want)
+	}
+	sum := crc32.Checksum(data[:len(data)-crcSize], castagnoli)
+	if got := binary.BigEndian.Uint32(data[len(data)-crcSize:]); got != sum {
+		return "", nil, fmt.Errorf("%w: CRC mismatch (stored %08x, computed %08x)", ErrCorrupt, got, sum)
+	}
+	key = string(data[headerSize : headerSize+keyLen])
+	body = data[headerSize+keyLen : headerSize+keyLen+bodyLen]
+	return key, body, nil
+}

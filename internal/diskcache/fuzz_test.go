@@ -1,0 +1,38 @@
+package diskcache
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecodeDiskCacheEntry drives arbitrary bytes through the on-disk
+// codec — the exact bytes a recovery scan or a Get reads back from a
+// volume that may have torn, truncated, zeroed, or bit-flipped them.
+// The contract: DecodeEntry never panics, and any input it accepts is
+// canonical — re-encoding the decoded (key, body) reproduces the input
+// byte for byte, so a "successful" decode can never yield a body the
+// CRC did not actually cover.
+func FuzzDecodeDiskCacheEntry(f *testing.F) {
+	f.Add(EncodeEntry("abc123/4", []byte(`{"mean_seconds":1.5}`)))
+	f.Add(EncodeEntry("k/1", nil))
+	f.Add(EncodeEntry(strings.Repeat("a", 80), bytes.Repeat([]byte{0xA5}, 300)))
+	valid := EncodeEntry("mutate/2", []byte("body to mutate"))
+	f.Add(valid[:len(valid)-1])                           // truncated trailer
+	f.Add(append(append([]byte{}, valid...), 0x00))       // trailing byte
+	f.Add(append([]byte("SDC2"), valid[4:]...))           // future version
+	f.Add([]byte("SDC1"))                                 // header alone
+	f.Add([]byte{})                                       // empty file
+	f.Add(bytes.Repeat([]byte{0x00}, 64))                 // torn page of zeros
+	f.Add([]byte("SDC1\xff\xff\xff\xff\xff\xff\xff\xff")) // absurd lengths
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, body, err := DecodeEntry(data)
+		if err != nil {
+			return // rejection is fine; not panicking is the contract
+		}
+		if !bytes.Equal(EncodeEntry(key, body), data) {
+			t.Fatalf("accepted non-canonical input: key %q, %d body bytes from %d input bytes", key, len(body), len(data))
+		}
+	})
+}

@@ -56,15 +56,18 @@ func (c *lru) get(key string) ([]byte, bool) {
 // than the whole byte budget is not admitted at all (and refreshing a
 // key with one drops the stale entry) — it stays servable through the
 // flight that produced it, it just never displaces the rest of the
-// cache. Callers must not mutate val afterwards.
-func (c *lru) add(key string, val []byte) {
+// cache. The return reports admission, so callers can count
+// budget-induced rejections (simd_cache_rejected_total): a false means
+// every future request for this key is an engine run, which operators
+// should see rather than infer. Callers must not mutate val afterwards.
+func (c *lru) add(key string, val []byte) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.maxBytes > 0 && int64(len(val)) > c.maxBytes {
 		if el, ok := c.items[key]; ok {
 			c.removeLocked(el)
 		}
-		return
+		return false
 	}
 	if el, ok := c.items[key]; ok {
 		c.ll.MoveToFront(el)
@@ -80,6 +83,7 @@ func (c *lru) add(key string, val []byte) {
 	for c.ll.Len() > c.max || (c.maxBytes > 0 && c.bytes > c.maxBytes) {
 		c.removeLocked(c.ll.Back())
 	}
+	return true
 }
 
 func (c *lru) removeLocked(el *list.Element) {

@@ -123,7 +123,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) int {
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	entries, bytes := s.cache.size()
-	s.met.writePrometheus(w, s.gate.depth(), entries, bytes)
+	s.met.writePrometheus(w, s.gate.depth(), entries, bytes, s.diskStats())
 	return http.StatusOK
 }
 

@@ -6,6 +6,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+
+	"repro/internal/diskcache"
 )
 
 // latencyBuckets are the histogram upper bounds in seconds, spanning a
@@ -63,6 +65,7 @@ type metrics struct {
 	cacheHits   int64
 	cacheMisses int64
 	dedupShared int64
+	rejected    int64 // memory-tier bodies refused for exceeding the whole byte budget
 	shed        int64
 	timeouts    int64
 	panics      int64
@@ -139,6 +142,7 @@ func (m *metrics) requestFinished(endpoint string, code int, seconds float64, by
 func (m *metrics) addCacheHits(n int64)   { m.mu.Lock(); m.cacheHits += n; m.mu.Unlock() }
 func (m *metrics) addCacheMisses(n int64) { m.mu.Lock(); m.cacheMisses += n; m.mu.Unlock() }
 func (m *metrics) addDedupShared(n int64) { m.mu.Lock(); m.dedupShared += n; m.mu.Unlock() }
+func (m *metrics) addRejected(n int64)    { m.mu.Lock(); m.rejected += n; m.mu.Unlock() }
 func (m *metrics) addShed()               { m.mu.Lock(); m.shed++; m.mu.Unlock() }
 
 // addOptimize records one finished search: its evaluation counts and
@@ -162,6 +166,13 @@ func (m *metrics) optimizeSnapshot() (requests, evals, served int64) {
 func (m *metrics) addTimeout() { m.mu.Lock(); m.timeouts++; m.mu.Unlock() }
 func (m *metrics) addPanic()   { m.mu.Lock(); m.panics++; m.mu.Unlock() }
 
+// panicsSnapshot returns the recovered-panic count (tests).
+func (m *metrics) panicsSnapshot() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.panics
+}
+
 // snapshot returns (hits, misses, shared) for tests and logs.
 func (m *metrics) snapshot() (hits, misses, shared int64) {
 	m.mu.Lock()
@@ -181,11 +192,14 @@ func sortedEndpoints(hs map[string]*hist) []string {
 }
 
 // writePrometheus renders the Prometheus text exposition format
-// (version 0.0.4). queueDepth, cacheEntries and cacheBytes are sampled
-// by the caller at scrape time (they live in the gate and the LRU, not
-// here). Every family ends its last sample line with a newline, as the
-// format requires.
-func (m *metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int, cacheBytes int64) {
+// (version 0.0.4). queueDepth, cacheEntries, cacheBytes and the disk
+// tier's snapshot are sampled by the caller at scrape time (they live
+// in the gate, the LRU and the diskcache, not here). The
+// simd_disk_cache_* families are emitted even when no disk tier is
+// configured — constant zeros and a closed-state gauge, so dashboards
+// and alerts keep one shape across both deployments. Every family ends
+// its last sample line with a newline, as the format requires.
+func (m *metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int, cacheBytes int64, ds diskcache.Stats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
@@ -225,6 +239,33 @@ func (m *metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int, cac
 	fmt.Fprintln(w, "# HELP simd_cache_bytes Total bytes of cached response bodies.")
 	fmt.Fprintln(w, "# TYPE simd_cache_bytes gauge")
 	fmt.Fprintf(w, "simd_cache_bytes %d\n", cacheBytes)
+
+	fmt.Fprintln(w, "# HELP simd_cache_rejected_total Result bodies a cache tier refused because they exceed its whole byte budget; every future request for such a point is an engine run.")
+	fmt.Fprintln(w, "# TYPE simd_cache_rejected_total counter")
+	fmt.Fprintf(w, "simd_cache_rejected_total{tier=\"memory\"} %d\n", m.rejected)
+	fmt.Fprintf(w, "simd_cache_rejected_total{tier=\"disk\"} %d\n", ds.Rejected)
+
+	fmt.Fprintln(w, "# HELP simd_disk_cache_hits_total Points served from the persistent disk tier (CRC-verified on read).")
+	fmt.Fprintln(w, "# TYPE simd_disk_cache_hits_total counter")
+	fmt.Fprintf(w, "simd_disk_cache_hits_total %d\n", ds.Hits)
+	fmt.Fprintln(w, "# HELP simd_disk_cache_misses_total Disk-tier lookups not served, breaker skips included.")
+	fmt.Fprintln(w, "# TYPE simd_disk_cache_misses_total counter")
+	fmt.Fprintf(w, "simd_disk_cache_misses_total %d\n", ds.Misses)
+	fmt.Fprintln(w, "# HELP simd_disk_cache_writes_total Entries durably written to the disk tier (fsync + atomic rename).")
+	fmt.Fprintln(w, "# TYPE simd_disk_cache_writes_total counter")
+	fmt.Fprintf(w, "simd_disk_cache_writes_total %d\n", ds.Writes)
+	fmt.Fprintln(w, "# HELP simd_disk_cache_evictions_total Disk-tier entries removed to fit the byte budget.")
+	fmt.Fprintln(w, "# TYPE simd_disk_cache_evictions_total counter")
+	fmt.Fprintf(w, "simd_disk_cache_evictions_total %d\n", ds.Evictions)
+	fmt.Fprintln(w, "# HELP simd_disk_cache_quarantined_total Corrupt entry files moved to the quarantine directory (recovery scan and read path); quarantined entries are never served.")
+	fmt.Fprintln(w, "# TYPE simd_disk_cache_quarantined_total counter")
+	fmt.Fprintf(w, "simd_disk_cache_quarantined_total %d\n", ds.Quarantined)
+	fmt.Fprintln(w, "# HELP simd_disk_cache_state Disk-tier circuit-breaker state: 0 closed (healthy), 1 half-open (probing), 2 open (memory-only).")
+	fmt.Fprintln(w, "# TYPE simd_disk_cache_state gauge")
+	fmt.Fprintf(w, "simd_disk_cache_state %d\n", ds.State)
+	fmt.Fprintln(w, "# HELP simd_disk_cache_bytes Total size of servable disk-tier entry files.")
+	fmt.Fprintln(w, "# TYPE simd_disk_cache_bytes gauge")
+	fmt.Fprintf(w, "simd_disk_cache_bytes %d\n", ds.Bytes)
 
 	fmt.Fprintln(w, "# HELP simd_dedup_shared_total Requests that joined an identical in-flight run.")
 	fmt.Fprintln(w, "# TYPE simd_dedup_shared_total counter")

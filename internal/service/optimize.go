@@ -227,8 +227,7 @@ func (s *Service) evaluateCandidate(ctx context.Context, cfg core.Config, trials
 	}
 	var body []byte
 	cached := false
-	if b, ok := s.cache.get(key); ok {
-		s.met.addCacheHits(1)
+	if b, _, ok := s.cacheGet(key); ok {
 		body, cached = b, true
 	} else {
 		c, leader := s.flights.lead(key)

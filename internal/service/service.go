@@ -31,13 +31,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log"
 	"log/slog"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/diskcache"
 	"repro/internal/trace"
 )
 
@@ -83,6 +86,13 @@ type Options struct {
 	// request (see withRequestID). nil disables request logging;
 	// request IDs are assigned either way.
 	Logger *slog.Logger
+	// DiskCache, when non-nil, is the persistent second tier behind the
+	// in-memory LRU (see internal/diskcache). The caller owns opening
+	// it — Open can fail, and whether a bad cache directory is fatal is
+	// the daemon's call, not this package's. The Service takes over
+	// writes, reads, and the index flush on Close. nil means
+	// memory-only, exactly the pre-disk-tier behavior.
+	DiskCache *diskcache.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -124,10 +134,15 @@ func (o Options) withDefaults() Options {
 type Service struct {
 	opts    Options
 	cache   *lru
+	disk    *diskcache.Cache // nil = memory-only
 	flights flightGroup
 	gate    *gate
 	met     *metrics
 	ids     *idSource
+
+	// runGrid is the engine entry point, a field so tests can substitute
+	// failing or panicking engines without reaching into core.
+	runGrid func(ctx context.Context, cfgs []core.Config, trials, workers int) ([]core.Aggregate, error)
 
 	wg       sync.WaitGroup // detached engine executions
 	draining atomic.Bool
@@ -137,11 +152,13 @@ type Service struct {
 func New(opts Options) *Service {
 	o := opts.withDefaults()
 	return &Service{
-		opts:  o,
-		cache: newLRU(o.CacheEntries, o.CacheBytes),
-		gate:  newGate(o.MaxConcurrent, o.MaxQueue),
-		met:   newMetrics(),
-		ids:   newIDSource(),
+		opts:    o,
+		cache:   newLRU(o.CacheEntries, o.CacheBytes),
+		disk:    o.DiskCache,
+		gate:    newGate(o.MaxConcurrent, o.MaxQueue),
+		met:     newMetrics(),
+		ids:     newIDSource(),
+		runGrid: core.RunGridContext,
 	}
 }
 
@@ -149,8 +166,11 @@ func New(opts Options) *Service {
 type CacheStatus string
 
 const (
-	// CacheHit: served from the result cache, no engine run.
+	// CacheHit: served from the in-memory result cache, no engine run.
 	CacheHit CacheStatus = "hit"
+	// CacheHitDisk: served from the persistent disk tier (CRC-verified
+	// on the way out), no engine run.
+	CacheHitDisk CacheStatus = "hit-disk"
 	// CacheMiss: this request led a fresh engine run.
 	CacheMiss CacheStatus = "miss"
 	// CacheShared: joined an identical run another request started.
@@ -165,6 +185,55 @@ func resultKey(cfg core.Config, trials int) (string, error) {
 		return "", err
 	}
 	return fmt.Sprintf("%s/%d", h, trials), nil
+}
+
+// cacheGet is the tiered lookup: memory, then disk. A disk hit is
+// promoted into the memory tier only on its second access —
+// scan-resistance, so one pass over a large keyspace (a big sweep
+// replayed once) streams through the disk tier without evicting the
+// memory tier's genuinely hot set. Counters: either tier's hit counts
+// toward simd_cache_hits_total (the "no engine run" meaning the
+// X-Cache accounting relies on); the disk tier additionally keeps its
+// own hit/miss counters under simd_disk_cache_*.
+func (s *Service) cacheGet(key string) ([]byte, CacheStatus, bool) {
+	if b, ok := s.cache.get(key); ok {
+		s.met.addCacheHits(1)
+		return b, CacheHit, true
+	}
+	if s.disk != nil {
+		if b, hits, ok := s.disk.Get(key); ok {
+			if hits >= 2 {
+				if !s.cache.add(key, b) {
+					s.met.addRejected(1)
+				}
+			}
+			s.met.addCacheHits(1)
+			return b, CacheHitDisk, true
+		}
+	}
+	return nil, CacheMiss, false
+}
+
+// cacheAdd stores a fresh result body in both tiers. Either tier may
+// refuse (body larger than its whole budget, or the disk tier tripped
+// to memory-only) — the body stays servable through the flight that
+// produced it, and memory-tier rejections are counted so the resulting
+// permanent misses are visible. Callers must not mutate b afterwards.
+func (s *Service) cacheAdd(key string, b []byte) {
+	if !s.cache.add(key, b) {
+		s.met.addRejected(1)
+	}
+	if s.disk != nil {
+		s.disk.Put(key, b)
+	}
+}
+
+// diskStats snapshots the disk tier's counters (zero when memory-only).
+func (s *Service) diskStats() diskcache.Stats {
+	if s.disk == nil {
+		return diskcache.Stats{}
+	}
+	return s.disk.Stats()
 }
 
 // Simulate serves one point aggregated over its trials, returning the
@@ -182,9 +251,8 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) ([]byte, Ca
 	if err != nil {
 		return nil, "", err
 	}
-	if b, ok := s.cache.get(key); ok {
-		s.met.addCacheHits(1)
-		return b, CacheHit, nil
+	if b, status, ok := s.cacheGet(key); ok {
+		return b, status, nil
 	}
 	c, leader := s.flights.lead(key)
 	status := CacheMiss
@@ -260,7 +328,7 @@ func (s *Service) SimulateTraced(ctx context.Context, req SimulateRequest) ([]by
 	}
 	result := core.NewResultJSON(aggs[0])
 	if plain, err := json.Marshal(result); err == nil {
-		s.cache.add(key, plain)
+		s.cacheAdd(key, plain)
 	}
 	var tb bytes.Buffer
 	if err := rec.WriteChrome(&tb); err != nil {
@@ -334,7 +402,7 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) ([]byte, int, int
 	var leadCfgs []core.Config
 	var hits, misses, shared int64
 	for i := range req.Points {
-		if b, ok := s.cache.get(keys[i]); ok {
+		if b, _, ok := s.cacheGet(keys[i]); ok {
 			out[i] = b
 			hits++
 			continue
@@ -350,7 +418,7 @@ func (s *Service) Sweep(ctx context.Context, req SweepRequest) ([]byte, int, int
 			shared++
 		}
 	}
-	s.met.addCacheHits(hits)
+	// Hits were already counted inside cacheGet, tier by tier.
 	s.met.addCacheMisses(misses)
 	s.met.addDedupShared(shared)
 
@@ -402,13 +470,30 @@ func (s *Service) spawn(keys []string, calls []*call, cfgs []core.Config, trials
 }
 
 // execute admits one engine run for the batch, runs it, caches each
-// point's body, and finishes every call exactly once.
+// point's body, and finishes every call at most once — on success,
+// failure, or panic. The panic guard matters because execute runs in a
+// detached goroutine: without it a panicking engine would kill the
+// whole daemon, and the HTTP layer's recovery middleware (which only
+// shields handler goroutines) answers the leader's request but could
+// never reach the joiners parked on this flight. Recovering here fails
+// the entire batch promptly (leader and joiners all see a 500) and
+// retires every key, so the next request for any of them leads a
+// fresh flight instead of hanging on a poisoned one.
 func (s *Service) execute(ctx context.Context, keys []string, calls []*call, cfgs []core.Config, trials int) {
 	fail := func(err error) {
 		for i := range calls {
 			s.flights.finish(keys[i], calls[i], nil, err)
 		}
 	}
+	defer func() {
+		if v := recover(); v != nil {
+			s.met.addPanic()
+			log.Printf("panic in detached engine run: %v\n%s", v, debug.Stack())
+			// finish is idempotent, so calls that completed before the
+			// panic keep their results; the rest fail now.
+			fail(fmt.Errorf("internal: engine run panicked: %v", v))
+		}
+	}()
 	if err := s.gate.acquire(ctx); err != nil {
 		if err == ErrOverloaded {
 			s.met.addShed()
@@ -417,7 +502,7 @@ func (s *Service) execute(ctx context.Context, keys []string, calls []*call, cfg
 		return
 	}
 	defer s.gate.release()
-	aggs, err := core.RunGridContext(ctx, cfgs, trials, s.opts.Workers)
+	aggs, err := s.runGrid(ctx, cfgs, trials, s.opts.Workers)
 	if err != nil {
 		fail(err)
 		return
@@ -425,7 +510,7 @@ func (s *Service) execute(ctx context.Context, keys []string, calls []*call, cfg
 	for i := range calls {
 		b, err := json.Marshal(core.NewResultJSON(aggs[i]))
 		if err == nil {
-			s.cache.add(keys[i], b)
+			s.cacheAdd(keys[i], b)
 		}
 		s.flights.finish(keys[i], calls[i], b, err)
 	}
@@ -472,11 +557,24 @@ func (s *Service) Drain(ctx context.Context) error {
 	}
 }
 
+// Close releases resources that survive Drain: today that is the disk
+// tier's recency index, flushed so the next start restores exact LRU
+// order. Call after Drain; a crash that skips Close costs the ordering
+// hint, never entries (each was durable when its Put returned).
+func (s *Service) Close() error {
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.Close()
+}
+
 // Stats is a point-in-time snapshot of the serving counters.
 type Stats struct {
 	CacheHits, CacheMisses, DedupShared int64
 	CacheBytes                          int64
 	CacheEntries, QueueDepth, InUse     int
+	// Disk is the persistent tier's snapshot; zero when memory-only.
+	Disk diskcache.Stats
 }
 
 // StatsSnapshot returns current serving counters (used by tests and
@@ -492,5 +590,6 @@ func (s *Service) StatsSnapshot() Stats {
 		CacheEntries: entries,
 		QueueDepth:   s.gate.depth(),
 		InUse:        s.gate.inUse(),
+		Disk:         s.diskStats(),
 	}
 }

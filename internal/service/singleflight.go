@@ -3,9 +3,13 @@ package service
 import "sync"
 
 // call is one in-flight engine execution. Waiters block on done; val
-// and err are written exactly once, before done is closed.
+// and err are written exactly once, before done is closed. once makes
+// finish idempotent: the panic-recovery path in execute fails every
+// call of the batch, including any it had already finished, and a
+// second close of done would itself panic.
 type call struct {
 	done chan struct{}
+	once sync.Once
 	val  []byte
 	err  error
 }
@@ -39,11 +43,14 @@ func (g *flightGroup) lead(key string) (*call, bool) {
 
 // finish publishes the result, wakes every waiter, and retires the key
 // so later requests (a cache miss after eviction, or a failed run) can
-// start a fresh flight.
+// start a fresh flight. Finishing an already-finished call is a no-op:
+// the first result stands.
 func (g *flightGroup) finish(key string, c *call, val []byte, err error) {
-	c.val, c.err = val, err
-	g.mu.Lock()
-	delete(g.calls, key)
-	g.mu.Unlock()
-	close(c.done)
+	c.once.Do(func() {
+		c.val, c.err = val, err
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	})
 }
