@@ -26,7 +26,7 @@ race:
 #   go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
 lint:
 	go vet ./...
-	go run ./cmd/detlint
+	go run ./cmd/detlint -baseline .detlint-baseline
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "staticcheck ./..."; staticcheck ./...; \
 	else \
@@ -39,15 +39,18 @@ lint:
 	fi
 
 # Fuzz smoke: the serving boundary must never panic on arbitrary bytes,
-# the canonical config encoding must be a decode/encode fixed point, and
-# the disk-cache entry codec must reject every mutation of its one valid
-# serialization per entry.
+# the canonical config encoding must be a decode/encode fixed point, the
+# disk-cache entry codec must reject every mutation of its one valid
+# serialization per entry, and the lint layer's directive parser and
+# baseline codec must survive arbitrary comment text and ledger bytes.
 FUZZTIME ?= 10s
 fuzz:
 	go test -run '^$$' -fuzz '^FuzzDecodeSimulateRequest$$' -fuzztime $(FUZZTIME) ./internal/service
 	go test -run '^$$' -fuzz '^FuzzDecodeOptimizeRequest$$' -fuzztime $(FUZZTIME) ./internal/service
 	go test -run '^$$' -fuzz '^FuzzCanonicalJSONRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/core
 	go test -run '^$$' -fuzz '^FuzzDecodeDiskCacheEntry$$' -fuzztime $(FUZZTIME) ./internal/diskcache
+	go test -run '^$$' -fuzz '^FuzzParseAllowDirective$$' -fuzztime $(FUZZTIME) ./internal/lint
+	go test -run '^$$' -fuzz '^FuzzBaselineRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/lint
 
 bench:
 	go test -bench=. -benchmem ./...
@@ -76,8 +79,9 @@ figures:
 figures-quick:
 	go run ./cmd/figures -quick
 
-# Regression-check figures against the committed reference CSVs.
-verify:
+# Regression-check figures against the committed reference CSVs, after
+# the tree passes static analysis.
+verify: lint
 	go run ./cmd/figures -verify -out figures-out
 
 examples:

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway single-package module for the
+// front-end to chew on and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module fixmod\n\ngo 1.24\n"
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// droppedCtx is a real ctxflow violation whose finding carries a
+// suggested fix: context.Background() conjured while ctx is in scope.
+const droppedCtx = `package fixmod
+
+import "context"
+
+func outer(ctx context.Context, keys chan string) {
+	inner(context.Background(), keys)
+}
+
+func inner(ctx context.Context, keys chan string) {
+	select {
+	case <-ctx.Done():
+	case <-keys:
+	}
+}
+`
+
+// TestFixRoundTrip drives the acceptance path end to end: a dirty tree
+// reports the finding, -diff previews without touching it, -fix
+// rewrites it, and the rerun comes back clean.
+func TestFixRoundTrip(t *testing.T) {
+	dir := writeModule(t, map[string]string{"flow.go": droppedCtx})
+	args := []string{"-C", dir, "fixmod"}
+
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 1 {
+		t.Fatalf("dirty tree: exit %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "context.Background() discards the received ctx") {
+		t.Fatalf("missing ctxflow finding in output:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(append([]string{"-diff"}, args...), &stdout, &stderr); code != 1 {
+		t.Fatalf("-diff: exit %d, stderr %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "+\tinner(ctx, keys)") {
+		t.Fatalf("-diff does not preview the rewrite:\n%s", stdout.String())
+	}
+	if src, _ := os.ReadFile(filepath.Join(dir, "flow.go")); !strings.Contains(string(src), "context.Background()") {
+		t.Fatal("-diff must not modify the file")
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(append([]string{"-fix"}, args...), &stdout, &stderr); code != 0 {
+		t.Fatalf("-fix: exit %d, stdout %s stderr %s", code, stdout.String(), stderr.String())
+	}
+	src, err := os.ReadFile(filepath.Join(dir, "flow.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "inner(ctx, keys)") || strings.Contains(string(src), "context.Background()") {
+		t.Fatalf("fix not applied:\n%s", src)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("fixed tree not clean: exit %d\n%s", code, stdout.String())
+	}
+}
+
+// TestBaselineFlow pins the CI contract: -write-baseline accepts the
+// current debt, -baseline subtracts exactly it, and a new finding
+// still fails.
+func TestBaselineFlow(t *testing.T) {
+	dir := writeModule(t, map[string]string{"flow.go": droppedCtx})
+	base := filepath.Join(dir, ".detlint-baseline")
+	args := []string{"-C", dir, "fixmod"}
+
+	var stdout, stderr bytes.Buffer
+	if code := run(append([]string{"-write-baseline", base}, args...), &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline: exit %d, stderr %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "flow.go\tctxflow\t") {
+		t.Fatalf("baseline missing the accepted finding:\n%s", raw)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(append([]string{"-baseline", base}, args...), &stdout, &stderr); code != 0 {
+		t.Fatalf("baselined run should be clean: exit %d\n%s", code, stdout.String())
+	}
+
+	// A second violation is fresh debt: the baseline absorbs one
+	// finding of this class, not the new one.
+	grown := strings.Replace(droppedCtx, "\tinner(context.Background(), keys)\n",
+		"\tinner(context.Background(), keys)\n\tinner(context.TODO(), keys)\n", 1)
+	if err := os.WriteFile(filepath.Join(dir, "flow.go"), []byte(grown), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run(append([]string{"-baseline", base}, args...), &stdout, &stderr); code != 1 {
+		t.Fatalf("grown tree must fail against old baseline: exit %d\n%s", code, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "context.TODO() discards the received ctx") {
+		t.Fatalf("fresh finding not reported:\n%s", stdout.String())
+	}
+}

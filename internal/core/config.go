@@ -68,9 +68,11 @@ func (p PrefetchRunPolicy) String() string {
 // Config fully describes one simulated merge. The zero value is not
 // runnable; start from Default and override.
 type Config struct {
-	K            int // number of sorted runs
-	D            int // number of input disks
-	BlocksPerRun int // run length in blocks (uniform runs)
+	K int // number of sorted runs
+	D int // number of input disks
+	// BlocksPerRun is the run length in blocks (uniform runs).
+	//detlint:unit blocks
+	BlocksPerRun int
 
 	// RunLengths, when non-nil, gives each run its own block count
 	// (replacement-selection runs are unequal); it overrides
@@ -100,6 +102,7 @@ type Config struct {
 	// CacheBlocks is the cache capacity C in blocks. Use
 	// cache.Unlimited for the ample-cache experiments; DefaultCache
 	// computes the paper's natural size.
+	//detlint:unit blocks
 	CacheBlocks int
 
 	// MergeTimePerBlock is the CPU cost of merging one block; zero

@@ -17,6 +17,7 @@ type Result struct {
 	TotalTime sim.Time
 
 	// MergedBlocks is K * BlocksPerRun.
+	//detlint:unit blocks
 	MergedBlocks int64
 
 	// Decisions counts I/O decision points (demand fetches issued);
@@ -42,6 +43,7 @@ type Result struct {
 	CachePeak int64
 
 	// Output-traffic metrics (zero unless Config.Write.Enabled).
+	//detlint:unit blocks
 	WrittenBlocks int64
 	WriteStall    sim.Time
 	// PerWriteDisk holds the separate output array's statistics; empty
@@ -121,6 +123,7 @@ func (r Result) MeanBlockTime() sim.Time {
 	if r.MergedBlocks == 0 {
 		return 0
 	}
+	//detlint:allow simunits deliberate ms-per-block ratio: the conversion is the dimensional bridge
 	return r.TotalTime / sim.Time(r.MergedBlocks)
 }
 

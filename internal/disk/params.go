@@ -129,7 +129,9 @@ func (m SeekModel) String() string {
 type Params struct {
 	Geometry Geometry
 
-	BlockBytes int // unit of transfer
+	// BlockBytes is the unit of transfer.
+	//detlint:unit bytes
+	BlockBytes int
 
 	SeekPerCylinder  sim.Time // S
 	AvgRotational    sim.Time // R: half of one revolution

@@ -38,6 +38,31 @@ func TestMetricReg(t *testing.T) {
 	linttest.Run(t, fixture("metricreg"), analyzers.MetricReg)
 }
 
+// TestSimUnits covers the dimensional dataflow: the seeded
+// seconds/blocks conversion, arithmetic and comparisons across units,
+// tagged-field stores, return-unit facts, and join behavior.
+func TestSimUnits(t *testing.T) {
+	linttest.Run(t, fixture("simunits"), analyzers.SimUnits)
+}
+
+// TestCtxFlow covers goroutine exit proofs over the CFG, context
+// stores into structs, and dropped-context findings with fixes.
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, fixture("ctxflow"), analyzers.CtxFlow)
+}
+
+// TestLockDisc covers blocking work under a mutex and the fact-store
+// lock-order inversion.
+func TestLockDisc(t *testing.T) {
+	linttest.Run(t, fixture("lockdisc"), analyzers.LockDisc)
+}
+
+// TestHotAlloc covers the call-graph walk from a //detlint:hotpath
+// root, including the seeded closure in a reachable callee.
+func TestHotAlloc(t *testing.T) {
+	linttest.Run(t, fixture("hotalloc"), analyzers.HotAlloc)
+}
+
 // TestSuiteSelfGates runs the full suite over every fixture: analyzers
 // must not fire outside their domain (confighash on a package without
 // a Config, metricreg on a package without an exposition, ...), so the

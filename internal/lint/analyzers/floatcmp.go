@@ -43,8 +43,15 @@ func runFloatCmp(pass *lint.Pass) error {
 				stack = stack[:len(stack)-1]
 				return true
 			}
-			if cmp, ok := n.(*ast.BinaryExpr); ok {
-				checkFloatEq(pass, cmp, stack)
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkFloatEq(pass, n, stack)
+			case *ast.SwitchStmt:
+				checkFloatSwitch(pass, n)
+			case *ast.MapType:
+				if t, ok := pass.TypesInfo.Types[n.Key]; ok && isFloat(t.Type) {
+					pass.Reportf(n.Key.Pos(), "floating-point map key (%s): every lookup is an exact bit comparison; key by an integer quantity instead", t.Type)
+				}
 			}
 			stack = append(stack, n)
 			return true
@@ -75,6 +82,30 @@ func checkFloatEq(pass *lint.Pass, cmp *ast.BinaryExpr, stack []ast.Node) {
 		return // constant operand: exact by construction
 	}
 	pass.Reportf(cmp.OpPos, "exact %s between computed floating-point values (%s); compare with a tolerance helper, or //detlint:allow with the reason exactness holds", cmp.Op, x.Type)
+}
+
+// checkFloatSwitch flags computed case expressions in a switch over a
+// float-typed tag: each case is an implicit exact ==. Constant cases
+// keep the same exemption as constant binary comparisons.
+func checkFloatSwitch(pass *lint.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return // tagless switch: its conditions are BinaryExprs, checked above
+	}
+	tag, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok || !isFloat(tag.Type) {
+		return
+	}
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value == nil {
+				pass.Reportf(e.Pos(), "exact switch case on a computed floating-point value (%s); rewrite as a tagless switch with tolerance comparisons", tag.Type)
+			}
+		}
+	}
 }
 
 func isFloat(t types.Type) bool {

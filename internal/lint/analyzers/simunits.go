@@ -1,0 +1,589 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// SimUnits is dimensional analysis for simulated quantities. The
+// paper's model mixes four families of numbers — simulated time,
+// block counts, byte counts, event counts — that are all plain ints and
+// floats to the Go type system; one seconds/blocks mixup silently
+// invalidates every figure. A named type or struct field tagged
+//
+//	//detlint:unit <unit>
+//
+// declares its dimension (the repo uses ms, blocks, bytes, events,
+// cylinders; any lowercase word works). Units propagate through local
+// assignments by forward dataflow over the framework CFG, and through
+// call results via per-function facts (a function whose every return
+// has one known unit exports it, so dependents see it across package
+// boundaries). The analyzer flags cross-unit addition, subtraction and
+// comparison, conversions into a tagged named type from a value of a
+// different unit, and assignments of a known unit into a field tagged
+// with another. Multiplication and division legitimately change
+// dimension, so they only launder units into "unknown" — conservative
+// by construction: a finding always involves two *known*, different
+// units.
+var SimUnits = &lint.Analyzer{
+	Name:  "simunits",
+	Doc:   "flag arithmetic, comparisons and conversions that mix tagged simulation units (ms, blocks, bytes, events)",
+	Order: lint.DepsFirst,
+	Run:   runSimUnits,
+}
+
+const unitPrefix = "//detlint:unit"
+
+var unitWordRx = regexp.MustCompile(`^[a-z][a-z0-9-]*$`)
+
+// unitFact is the dimension exported for a TypeName, a struct-field
+// Var, or (when inferred from returns) a Func.
+type unitFact string
+
+type unitChecker struct {
+	pass *lint.Pass
+	// local return-unit summaries for this package's functions,
+	// resolved before the reporting pass so in-package call order does
+	// not matter.
+	returns map[*types.Func]string
+	// env is the current block's local-variable units during dataflow.
+	env map[types.Object]string
+	// reported dedups findings across dataflow revisits.
+	reported map[string]bool
+	reports  []lint.Diagnostic
+}
+
+func runSimUnits(pass *lint.Pass) error {
+	c := &unitChecker{
+		pass:     pass,
+		returns:  make(map[*types.Func]string),
+		reported: make(map[string]bool),
+	}
+	c.collectTags()
+
+	// Round 1 infers return units (no reporting) so round 2 sees every
+	// in-package callee summary regardless of declaration order; two
+	// rounds of inference reach the fixpoint for chains of unit-typed
+	// helpers one deep per round, which covers the tree.
+	for i := 0; i < 2; i++ {
+		c.forEachFunc(func(fd *ast.FuncDecl) { c.inferReturns(fd) })
+	}
+	for fn, unit := range c.returns {
+		if unit != "" {
+			pass.ExportObjectFact(fn, unitFact(unit))
+		}
+	}
+	c.forEachFunc(func(fd *ast.FuncDecl) { c.checkFunc(fd) })
+
+	sort.Slice(c.reports, func(i, j int) bool {
+		a, b := c.reports[i], c.reports[j]
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	for _, d := range c.reports {
+		pass.Report(d)
+	}
+	return nil
+}
+
+func (c *unitChecker) forEachFunc(fn func(*ast.FuncDecl)) {
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// collectTags parses //detlint:unit directives on type declarations and
+// struct fields, exporting a fact per tagged object.
+func (c *unitChecker) collectTags() {
+	for _, file := range c.pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				unit := c.unitDirective(ts.Doc, ts.Comment, gd.Doc)
+				if unit != "" {
+					if obj := c.pass.TypesInfo.Defs[ts.Name]; obj != nil {
+						c.pass.ExportObjectFact(obj, unitFact(unit))
+					}
+				}
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					c.collectFieldTags(st)
+				}
+			}
+		}
+	}
+}
+
+func (c *unitChecker) collectFieldTags(st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		unit := c.unitDirective(field.Doc, field.Comment, nil)
+		if unit == "" {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+				c.pass.ExportObjectFact(obj, unitFact(unit))
+			}
+		}
+	}
+}
+
+// unitDirective extracts the unit word from the first //detlint:unit
+// line in the given comment groups, reporting malformed tags.
+func (c *unitChecker) unitDirective(groups ...*ast.CommentGroup) string {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, cm := range cg.List {
+			if !strings.HasPrefix(cm.Text, unitPrefix) {
+				continue
+			}
+			word := strings.TrimSpace(strings.TrimPrefix(cm.Text, unitPrefix))
+			if !unitWordRx.MatchString(word) {
+				c.pass.Reportf(cm.Pos(), "//detlint:unit wants one lowercase unit word (ms, blocks, bytes, events, ...), got %q", word)
+				return ""
+			}
+			return word
+		}
+	}
+	return ""
+}
+
+// typeUnit returns the unit a type carries through its name, or "".
+func (c *unitChecker) typeUnit(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if named, ok := t.(*types.Named); ok {
+		if f, ok := c.pass.ImportObjectFact(named.Obj()).(unitFact); ok {
+			return string(f)
+		}
+	}
+	return ""
+}
+
+// objUnit returns the declared unit of a field or type object, or "".
+func (c *unitChecker) objUnit(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	if f, ok := c.pass.ImportObjectFact(obj).(unitFact); ok {
+		return string(f)
+	}
+	return ""
+}
+
+// isConst reports whether e is a compile-time constant: constants are
+// dimensionless glue (`x - 1`, `t < 0`) and adopt the other operand's
+// unit.
+func (c *unitChecker) isConst(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+// unitOf computes the unit of an expression under env. Purely
+// computational: checks and reports happen in checkNode.
+func (c *unitChecker) unitOf(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.unitOf(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB || e.Op == token.ADD {
+			return c.unitOf(e.X)
+		}
+	case *ast.Ident:
+		if obj := c.pass.TypesInfo.Uses[e]; obj != nil {
+			if u, ok := c.env[obj]; ok {
+				return u
+			}
+			if u := c.objUnit(obj); u != "" {
+				return u // a package var or param declared with a tagged field type? (fields only, in practice)
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if u := c.objUnit(sel.Obj()); u != "" {
+				return u
+			}
+		}
+	case *ast.CallExpr:
+		if tv, ok := c.pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			return c.typeUnit(tv.Type) // conversion: the target type's unit
+		}
+		if fn := c.calleeFunc(e); fn != nil {
+			if u, ok := c.returns[fn]; ok && u != "" {
+				return u
+			}
+			if u := c.objUnit(fn); u != "" {
+				return u
+			}
+		}
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB:
+			x, y := c.unitOf(e.X), c.unitOf(e.Y)
+			switch {
+			case x == y:
+				return x
+			case x != "" && (y == "" && c.isConst(e.Y)):
+				return x
+			case y != "" && (x == "" && c.isConst(e.X)):
+				return y
+			}
+			return ""
+		case token.MUL, token.QUO, token.REM:
+			// Dimension changes; a constant factor keeps it (2*R is
+			// still time).
+			x, y := c.unitOf(e.X), c.unitOf(e.Y)
+			if x != "" && c.isConst(e.Y) {
+				return x
+			}
+			if y != "" && c.isConst(e.X) && e.Op == token.MUL {
+				return y
+			}
+			return ""
+		}
+		return ""
+	}
+	// Fall back to the static type's tag (covers composite selectors,
+	// index expressions, method results of tagged named types, ...).
+	if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+		return c.typeUnit(tv.Type)
+	}
+	return ""
+}
+
+// calleeFunc resolves a call's static callee, or nil for dynamic calls.
+func (c *unitChecker) calleeFunc(call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := c.pass.TypesInfo.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := c.pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// inferReturns records fn's return unit when it has exactly one result
+// and every return expression agrees on one known unit.
+func (c *unitChecker) inferReturns(fd *ast.FuncDecl) {
+	obj, ok := c.pass.TypesInfo.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Results().Len() != 1 {
+		return
+	}
+	c.env = map[types.Object]string{} // returns are inferred without local flow: tags and callee facts only
+	unit, consistent := "", true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(n.Results) != 1 {
+				consistent = false
+				return true
+			}
+			u := c.unitOf(n.Results[0])
+			if u == "" && c.isConst(n.Results[0]) {
+				return true // `return 0` adopts the other returns' unit
+			}
+			if u == "" || (unit != "" && u != unit) {
+				consistent = false
+				return true
+			}
+			unit = u
+		}
+		return true
+	})
+	if consistent && unit != "" {
+		c.returns[obj] = unit
+	}
+}
+
+// checkFunc runs the forward dataflow over fd's CFG and reports unit
+// conflicts.
+func (c *unitChecker) checkFunc(fd *ast.FuncDecl) {
+	cfg := lint.NewCFG(fd.Body)
+	preds := make([][]*lint.Block, len(cfg.Blocks))
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+	in := make([]map[types.Object]string, len(cfg.Blocks))
+	out := make([]map[types.Object]string, len(cfg.Blocks))
+	in[cfg.Entry.Index] = map[types.Object]string{}
+
+	// Iterate to fixpoint: the lattice per variable is tiny (unknown or
+	// one unit word, meets collapse to unknown), so this terminates
+	// fast; the visit order is block index for determinism.
+	changed := true
+	for rounds := 0; changed && rounds < len(cfg.Blocks)+2; rounds++ {
+		changed = false
+		for _, b := range cfg.Blocks {
+			newIn := meetEnvs(preds[b.Index], out, b == cfg.Entry)
+			c.env = copyEnv(newIn)
+			for _, n := range b.Nodes {
+				c.transfer(n)
+			}
+			if !envEqual(in[b.Index], newIn) || !envEqual(out[b.Index], c.env) {
+				changed = true
+			}
+			in[b.Index] = newIn
+			out[b.Index] = c.env
+		}
+	}
+	// Reporting pass: stable envs, walk each block once.
+	for _, b := range cfg.Blocks {
+		c.env = copyEnv(in[b.Index])
+		for _, n := range b.Nodes {
+			c.checkNode(n)
+			c.transfer(n)
+		}
+	}
+}
+
+func meetEnvs(preds []*lint.Block, out []map[types.Object]string, isEntry bool) map[types.Object]string {
+	if isEntry || len(preds) == 0 {
+		return map[types.Object]string{}
+	}
+	merged := map[types.Object]string{}
+	first := true
+	for _, p := range preds {
+		o := out[p.Index]
+		if o == nil {
+			continue // unprocessed predecessor this round: optimistic skip
+		}
+		if first {
+			for k, v := range o {
+				merged[k] = v
+			}
+			first = false
+			continue
+		}
+		for k, v := range merged {
+			if o[k] != v {
+				delete(merged, k)
+			}
+		}
+	}
+	return merged
+}
+
+func copyEnv(env map[types.Object]string) map[types.Object]string {
+	out := make(map[types.Object]string, len(env))
+	for k, v := range env {
+		out[k] = v
+	}
+	return out
+}
+
+func envEqual(a, b map[types.Object]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// transfer updates env for one atomic node (assignments and short var
+// declarations; everything else leaves env alone).
+func (c *unitChecker) transfer(n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if len(n.Lhs) != len(n.Rhs) {
+			// Multi-value assignment: units of tuple results are not
+			// tracked; drop stale knowledge about the targets.
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					c.forgetIdent(id)
+				}
+			}
+			return
+		}
+		for i, lhs := range n.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			u := c.unitOf(n.Rhs[i])
+			obj := c.identObj(id)
+			if obj == nil {
+				continue
+			}
+			if u != "" {
+				c.env[obj] = u
+			} else {
+				delete(c.env, obj)
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != len(vs.Names) {
+				continue
+			}
+			for i, name := range vs.Names {
+				if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+					if u := c.unitOf(vs.Values[i]); u != "" {
+						c.env[obj] = u
+					}
+				}
+			}
+		}
+	}
+}
+
+func (c *unitChecker) identObj(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+func (c *unitChecker) forgetIdent(id *ast.Ident) {
+	if obj := c.identObj(id); obj != nil {
+		delete(c.env, obj)
+	}
+}
+
+// checkNode walks one atomic node and reports every unit conflict in
+// it: mixed +/-, mixed comparisons, cross-unit conversions into tagged
+// named types, cross-unit stores into tagged fields, and cross-unit
+// compound assignment.
+func (c *unitChecker) checkNode(n ast.Node) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			return false // literals get their own CFG? no — v2 keeps to declared functions
+		case *ast.BinaryExpr:
+			c.checkBinary(node)
+		case *ast.CallExpr:
+			c.checkConversion(node)
+		case *ast.AssignStmt:
+			c.checkAssign(node)
+		}
+		return true
+	})
+}
+
+func (c *unitChecker) checkBinary(e *ast.BinaryExpr) {
+	switch e.Op {
+	case token.ADD, token.SUB, token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+	default:
+		return
+	}
+	if c.isConst(e.X) || c.isConst(e.Y) {
+		return
+	}
+	x, y := c.unitOf(e.X), c.unitOf(e.Y)
+	if x == "" || y == "" || x == y {
+		return
+	}
+	what := "adds"
+	switch e.Op {
+	case token.SUB:
+		what = "subtracts"
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		what = "compares"
+	}
+	c.reportf(e.OpPos, "%s %s %q and %q: cross-unit arithmetic on simulated quantities", e.Op, what, x, y)
+}
+
+func (c *unitChecker) checkConversion(call *ast.CallExpr) {
+	tv, ok := c.pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	target := c.typeUnit(tv.Type)
+	if target == "" {
+		return
+	}
+	if c.isConst(call.Args[0]) {
+		return
+	}
+	from := c.unitOf(call.Args[0])
+	if from == "" || from == target {
+		return
+	}
+	c.reportf(call.Pos(), "conversion of a %q value into %s (unit %q) crosses units", from, tv.Type, target)
+}
+
+func (c *unitChecker) checkAssign(n *ast.AssignStmt) {
+	// Compound ops are additive: unit on both sides must agree.
+	compound := n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN
+	if len(n.Lhs) != len(n.Rhs) {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		rhsUnit := c.unitOf(n.Rhs[i])
+		if rhsUnit == "" || c.isConst(n.Rhs[i]) {
+			continue
+		}
+		var lhsUnit string
+		var fieldName string
+		switch l := lhs.(type) {
+		case *ast.SelectorExpr:
+			if sel, ok := c.pass.TypesInfo.Selections[l]; ok && sel.Kind() == types.FieldVal {
+				lhsUnit = c.objUnit(sel.Obj())
+				fieldName = sel.Obj().Name()
+			}
+		case *ast.Ident:
+			if !compound {
+				continue // plain stores to locals retag, handled by transfer
+			}
+			lhsUnit = c.unitOf(l)
+			fieldName = l.Name
+		}
+		if lhsUnit == "" || lhsUnit == rhsUnit {
+			continue
+		}
+		c.reportf(n.TokPos, "stores a %q value into %s (unit %q)", rhsUnit, fieldName, lhsUnit)
+	}
+}
+
+func (c *unitChecker) reportf(pos token.Pos, format string, args ...any) {
+	p := c.pass.Fset.Position(pos)
+	msg := fmt.Sprintf(format, args...)
+	key := fmt.Sprintf("%s:%d:%d:%s", p.Filename, p.Line, p.Column, msg)
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.reports = append(c.reports, lint.Diagnostic{Pos: p, Analyzer: c.pass.Analyzer.Name, Message: msg})
+}

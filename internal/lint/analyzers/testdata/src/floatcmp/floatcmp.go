@@ -40,3 +40,31 @@ func approxEqual(a, b float64) bool {
 func allowed(a, b float64) bool {
 	return a == b //detlint:allow floatcmp fixture demonstrates the scoped escape hatch
 }
+
+// A switch over a float tag hides an exact == in every case.
+func switchCases(x, y float64) int {
+	switch x {
+	case y: // want `exact switch case on a computed floating-point value`
+		return 1
+	case 0: // constant case: exact by construction, like a == 0
+		return 2
+	}
+	switch { // tagless: conditions are ordinary comparisons
+	case x > y:
+		return 3
+	}
+	return 0
+}
+
+// A float-keyed map demands exact bit equality on every lookup.
+type index map[duration]int // want `floating-point map key`
+
+func collect(times []duration) int {
+	seen := map[float64]bool{} // want `floating-point map key`
+	for _, t := range times {
+		seen[float64(t)] = true
+	}
+	byCount := map[int][]duration{} // integer key: fine
+	_ = byCount
+	return len(seen)
+}

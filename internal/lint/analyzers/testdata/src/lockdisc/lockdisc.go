@@ -1,0 +1,78 @@
+// Package lockdisc is the intentional-violation fixture for the lock
+// discipline analyzer: blocking work under a mutex and a lock-order
+// inversion.
+package lockdisc
+
+import (
+	"os"
+	"sync"
+)
+
+type cache struct {
+	mu    sync.Mutex
+	aux   sync.Mutex
+	items map[string][]byte
+	out   chan []byte
+}
+
+// sendUnder holds mu across a channel send: a slow receiver stalls
+// every other caller.
+func (c *cache) sendUnder(b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.out <- b // want `channel send while c.mu is held`
+}
+
+// readUnder does file I/O with the lock held.
+func (c *cache) readUnder(path string) ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return os.ReadFile(path) // want `os.ReadFile while c.mu is held`
+}
+
+// readOutside is the clean shape: copy under the lock, touch the disk
+// after releasing it.
+func (c *cache) readOutside(path string) ([]byte, error) {
+	c.mu.Lock()
+	_, cached := c.items[path]
+	c.mu.Unlock()
+	if cached {
+		return nil, nil
+	}
+	return os.ReadFile(path)
+}
+
+// trySend is tolerated: a select with a default case cannot block.
+func (c *cache) trySend(b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case c.out <- b:
+	default:
+	}
+}
+
+// flush documents a deliberate send-under-lock with a reasoned allow.
+func (c *cache) flush(b []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	//detlint:allow lockdisc out is buffered with one slot per possible waiter
+	c.out <- b
+}
+
+// ordered establishes the order mu, then aux.
+func (c *cache) ordered() {
+	c.mu.Lock()
+	c.aux.Lock()
+	c.aux.Unlock()
+	c.mu.Unlock()
+}
+
+// inverted acquires the same pair the other way around: with ordered's
+// edge in the fact store this is a deadlock-in-waiting.
+func (c *cache) inverted() {
+	c.aux.Lock()
+	c.mu.Lock() // want `acquiring c.mu while c.aux is held inverts the lock order`
+	c.mu.Unlock()
+	c.aux.Unlock()
+}

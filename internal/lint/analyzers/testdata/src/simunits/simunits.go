@@ -1,0 +1,98 @@
+// Package simunits is the intentional-violation fixture for the
+// dimensional analyzer: simulated seconds and block counts mixed in
+// arithmetic, comparisons, conversions and field stores.
+package simunits
+
+// Seconds is a span of simulated time.
+//
+//detlint:unit seconds
+type Seconds float64
+
+// Blocks is a count of transfer blocks.
+//
+//detlint:unit blocks
+type Blocks int
+
+// Config mixes tagged basic fields with tagged named types.
+type Config struct {
+	CacheBlocks int //detlint:unit blocks
+	RunBytes    int //detlint:unit bytes
+
+	Deadline Seconds
+	Untagged int
+}
+
+// transferTime is the seeded seconds/blocks mixup the acceptance
+// criteria call for: a block count lands in a time slot.
+func transferTime(c Config) Seconds {
+	blocks := c.CacheBlocks
+	return Seconds(blocks) // want `conversion of a "blocks" value into simunits.Seconds \(unit "seconds"\) crosses units`
+}
+
+func arithmetic(c Config, t Seconds) {
+	_ = c.CacheBlocks + c.RunBytes // want `\+ adds "blocks" and "bytes"`
+	_ = float64(t) - float64(c.CacheBlocks)
+
+	// Units survive local assignment chains (the dataflow part).
+	cached := c.CacheBlocks
+	spare := cached
+	_ = spare + c.RunBytes // want `\+ adds "blocks" and "bytes"`
+
+	// Constants are dimensionless glue: no findings.
+	_ = c.CacheBlocks + 1
+	_ = 2 * t
+	if c.CacheBlocks > 0 {
+		_ = cached - 1
+	}
+}
+
+func comparisons(c Config, t Seconds) bool {
+	if c.CacheBlocks > c.RunBytes { // want `> compares "blocks" and "bytes"`
+		return true
+	}
+	return float64(c.Untagged) > float64(t)
+}
+
+func fieldStores(c *Config) {
+	b := c.CacheBlocks
+	c.RunBytes = b  // want `stores a "blocks" value into RunBytes \(unit "bytes"\)`
+	c.RunBytes += b // want `stores a "blocks" value into RunBytes \(unit "bytes"\)`
+	c.CacheBlocks = b
+}
+
+// blockBudget returns blocks from every path, so callers inherit the
+// unit through the function's exported fact.
+func blockBudget(c Config) int {
+	if c.Untagged > 0 {
+		return c.CacheBlocks
+	}
+	return 0 // dimensionless zero adopts the other returns' unit
+}
+
+func callerInherits(c Config) {
+	_ = blockBudget(c) + c.RunBytes // want `\+ adds "blocks" and "bytes"`
+}
+
+// merge joins must agree before a unit survives: after the if/else,
+// mixed is unknown and draws no finding, kept is still blocks.
+func joins(c Config, cond bool) {
+	mixed := c.CacheBlocks
+	kept := c.CacheBlocks
+	if cond {
+		mixed = c.RunBytes // no finding: a plain store to a local retags it
+		kept = c.CacheBlocks
+	}
+	_ = mixed + c.Untagged
+	_ = kept + c.RunBytes // want `\+ adds "blocks" and "bytes"`
+}
+
+// A reasoned allow silences a deliberate dimensional trick, the same
+// escape hatch every analyzer shares.
+func meanTime(total Seconds, n Blocks) Seconds {
+	//detlint:allow simunits deliberate time-per-block ratio, dimensionally seconds/blocks
+	return total / Seconds(n)
+}
+
+type badTag struct {
+	X int //detlint:unit Not A Unit // want `wants one lowercase unit word`
+}

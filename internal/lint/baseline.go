@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A Baseline is a set of accepted findings: new analyzers can land
+// strict while the existing debt is paid down incrementally. Entries
+// are keyed by (module-relative file, analyzer, message) with a count —
+// line numbers are deliberately excluded so unrelated edits above a
+// baselined finding do not churn the file. CI commits the baseline and
+// fails any PR whose regenerated baseline grows (see the lint job):
+// shrinking is free, growing needs a fix or a reasoned //detlint:allow.
+type Baseline struct {
+	Counts map[BaselineKey]int
+}
+
+// A BaselineKey identifies one class of accepted finding.
+type BaselineKey struct {
+	File     string // module-relative, forward slashes
+	Analyzer string
+	Message  string
+}
+
+// NewBaseline returns an empty baseline.
+func NewBaseline() *Baseline {
+	return &Baseline{Counts: make(map[BaselineKey]int)}
+}
+
+// baselineHeader starts every serialized baseline; it doubles as a
+// format version marker.
+const baselineHeader = "# detlint baseline v1: count<TAB>file<TAB>analyzer<TAB>quoted-message"
+
+// FormatBaseline serializes b deterministically: header, then sorted
+// tab-separated entries with the message strconv-quoted (messages may
+// contain anything).
+func FormatBaseline(b *Baseline) string {
+	keys := make([]BaselineKey, 0, len(b.Counts))
+	for k := range b.Counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, c := keys[i], keys[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	var sb strings.Builder
+	sb.WriteString(baselineHeader)
+	sb.WriteByte('\n')
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%d\t%s\t%s\t%s\n", b.Counts[k], k.File, k.Analyzer, strconv.Quote(k.Message))
+	}
+	return sb.String()
+}
+
+// ParseBaseline reads a serialized baseline, rejecting anything
+// malformed — a corrupt baseline must fail loudly, never quietly
+// suppress (the same philosophy as the allow directive).
+func ParseBaseline(r io.Reader) (*Baseline, error) {
+	b := NewBaseline()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 4)
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("baseline line %d: want count<TAB>file<TAB>analyzer<TAB>message, got %q", lineNo, line)
+		}
+		count, err := strconv.Atoi(parts[0])
+		if err != nil || count <= 0 {
+			return nil, fmt.Errorf("baseline line %d: bad count %q", lineNo, parts[0])
+		}
+		file, analyzer := parts[1], parts[2]
+		if file == "" || strings.Contains(file, "\\") {
+			return nil, fmt.Errorf("baseline line %d: bad file %q (module-relative, forward slashes)", lineNo, file)
+		}
+		if analyzer == "" || !wordRx.MatchString(analyzer) {
+			return nil, fmt.Errorf("baseline line %d: bad analyzer %q", lineNo, analyzer)
+		}
+		msg, err := strconv.Unquote(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("baseline line %d: message not a quoted string: %v", lineNo, err)
+		}
+		key := BaselineKey{File: file, Analyzer: analyzer, Message: msg}
+		if _, dup := b.Counts[key]; dup {
+			return nil, fmt.Errorf("baseline line %d: duplicate entry for %s:%s", lineNo, file, analyzer)
+		}
+		b.Counts[key] = count
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// BaselineFromDiags builds the baseline that would accept exactly the
+// given findings, with files rewritten relative to modRoot.
+func BaselineFromDiags(diags []Diagnostic, modRoot string) *Baseline {
+	b := NewBaseline()
+	for _, d := range diags {
+		b.Counts[baselineKeyFor(d, modRoot)]++
+	}
+	return b
+}
+
+// FilterBaseline splits diags into (new, accepted): each finding
+// matching a baseline key consumes one count; findings beyond the
+// baselined count — and every finding of an un-baselined class — are
+// new. Deterministic because diags arrive position-sorted.
+func FilterBaseline(diags []Diagnostic, b *Baseline, modRoot string) (fresh, accepted []Diagnostic) {
+	remaining := make(map[BaselineKey]int, len(b.Counts))
+	for k, n := range b.Counts {
+		remaining[k] = n
+	}
+	for _, d := range diags {
+		key := baselineKeyFor(d, modRoot)
+		if remaining[key] > 0 {
+			remaining[key]--
+			accepted = append(accepted, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, accepted
+}
+
+func baselineKeyFor(d Diagnostic, modRoot string) BaselineKey {
+	file := d.Pos.Filename
+	if modRoot != "" {
+		if rel, err := filepath.Rel(modRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return BaselineKey{File: filepath.ToSlash(file), Analyzer: d.Analyzer, Message: d.Message}
+}

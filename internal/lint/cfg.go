@@ -1,0 +1,306 @@
+package lint
+
+import "go/ast"
+
+// This file is the framework's intra-procedural control-flow facility:
+// a function body decomposed into basic blocks of atomic nodes (simple
+// statements plus the control expressions that guard transfers), with
+// successor edges for structured control flow, break/continue (labeled
+// included), switch/select clauses and fallthrough. It is deliberately
+// small — goto is over-approximated as an edge to the exit block, and
+// panics are treated as ordinary calls — because its clients are
+// forward dataflow analyses (simunits' unit propagation, ctxflow's
+// exit-path reasoning) whose soundness only needs edges to be a
+// superset of real transfers.
+
+// A CFG is the control-flow graph of one function body. Entry starts
+// the body; Exit is the single synthetic return target (no Nodes).
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// A Block is a maximal straight-line sequence of atomic nodes. Nodes
+// holds simple statements (assignments, declarations, calls, sends,
+// incdec, go/defer) and bare control expressions (an if/for condition,
+// a range operand, a switch tag, case expressions) in execution order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// NewCFG builds the control-flow graph of body.
+func NewCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{cfg: &CFG{}}
+	b.cfg.Entry = b.newBlock()
+	b.cfg.Exit = b.newBlock()
+	last := b.stmts(b.cfg.Entry, body.List, nil)
+	b.edge(last, b.cfg.Exit)
+	return b.cfg
+}
+
+type loopScope struct {
+	label         string // "" for unlabeled
+	breakTarget   *Block
+	continueTgt   *Block // nil for switch/select scopes
+	fallthroughTo *Block // next case clause, switch scopes only
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	scopes []loopScope
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	for _, s := range from.Succs {
+		if s == to {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts threads the statement list through cur and returns the block
+// control falls out of (nil when the list always transfers away).
+func (b *cfgBuilder) stmts(cur *Block, list []ast.Stmt, label *string) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s, label)
+		label = nil
+	}
+	return cur
+}
+
+// findScope returns the innermost scope matching label ("" = innermost
+// that accepts the verb: break matches any scope, continue only loops).
+func (b *cfgBuilder) findScope(label string, needContinue bool) *loopScope {
+	for i := len(b.scopes) - 1; i >= 0; i-- {
+		sc := &b.scopes[i]
+		if needContinue && sc.continueTgt == nil {
+			continue
+		}
+		if label == "" || sc.label == label {
+			return sc
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(cur *Block, s ast.Stmt, label *string) *Block {
+	if cur == nil {
+		// Unreachable code still gets blocks (analyses may want to see
+		// it), just no inbound edges.
+		cur = b.newBlock()
+	}
+	switch s := s.(type) {
+	case *ast.LabeledStmt:
+		name := s.Label.Name
+		return b.stmt(cur, s.Stmt, &name)
+
+	case *ast.BlockStmt:
+		return b.stmts(cur, s.List, nil)
+
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		b.edge(cur, b.cfg.Exit)
+		return nil
+
+	case *ast.BranchStmt:
+		lbl := ""
+		if s.Label != nil {
+			lbl = s.Label.Name
+		}
+		switch s.Tok.String() {
+		case "break":
+			if sc := b.findScope(lbl, false); sc != nil {
+				b.edge(cur, sc.breakTarget)
+			} else {
+				b.edge(cur, b.cfg.Exit)
+			}
+		case "continue":
+			if sc := b.findScope(lbl, true); sc != nil {
+				b.edge(cur, sc.continueTgt)
+			} else {
+				b.edge(cur, b.cfg.Exit)
+			}
+		case "fallthrough":
+			if sc := b.findScope("", false); sc != nil && sc.fallthroughTo != nil {
+				b.edge(cur, sc.fallthroughTo)
+			}
+		default: // goto: over-approximate as leaving the function
+			b.edge(cur, b.cfg.Exit)
+		}
+		return nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Cond)
+		after := b.newBlock()
+		thenBlk := b.newBlock()
+		b.edge(cur, thenBlk)
+		b.edge(b.stmts(thenBlk, s.Body.List, nil), after)
+		if s.Else != nil {
+			elseBlk := b.newBlock()
+			b.edge(cur, elseBlk)
+			b.edge(b.stmt(elseBlk, s.Else, nil), after)
+		} else {
+			b.edge(cur, after)
+		}
+		return after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		after := b.newBlock()
+		post := b.newBlock()
+		if s.Post != nil {
+			post.Nodes = append(post.Nodes, s.Post)
+		}
+		b.edge(post, head)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		b.pushScope(label, after, post, nil)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.edge(b.stmts(body, s.Body.List, nil), post)
+		b.popScope()
+		return after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		head.Nodes = append(head.Nodes, s)
+		after := b.newBlock()
+		b.edge(head, after) // a range always may be exhausted (or the channel closed)
+		b.pushScope(label, after, head, nil)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.edge(b.stmts(body, s.Body.List, nil), head)
+		b.popScope()
+		return after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		if s.Tag != nil {
+			cur.Nodes = append(cur.Nodes, s.Tag)
+		}
+		return b.clauses(cur, s.Body.List, label, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur.Nodes = append(cur.Nodes, s.Init)
+		}
+		cur.Nodes = append(cur.Nodes, s.Assign)
+		return b.clauses(cur, s.Body.List, label, true)
+
+	case *ast.SelectStmt:
+		return b.clauses(cur, s.Body.List, label, false)
+
+	case *ast.GoStmt, *ast.DeferStmt, *ast.ExprStmt, *ast.AssignStmt,
+		*ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+
+	default:
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// clauses builds switch/type-switch/select clause blocks. hasDefaultArm
+// tracks whether fallthrough applies (switches only).
+func (b *cfgBuilder) clauses(cur *Block, list []ast.Stmt, label *string, isSwitch bool) *Block {
+	after := b.newBlock()
+	// Pre-create the clause body blocks so fallthrough can target the
+	// next clause before it is built.
+	bodies := make([]*Block, len(list))
+	for i := range list {
+		bodies[i] = b.newBlock()
+		b.edge(cur, bodies[i])
+	}
+	hasDefault := false
+	for i, clause := range list {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				bodies[i].Nodes = append(bodies[i].Nodes, e)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				bodies[i].Nodes = append(bodies[i].Nodes, c.Comm)
+			} else {
+				hasDefault = true
+			}
+			stmts = c.Body
+		}
+		var ft *Block
+		if isSwitch && i+1 < len(list) {
+			ft = bodies[i+1]
+		}
+		b.pushScope(label, after, nil, ft)
+		b.edge(b.stmts(bodies[i], stmts, nil), after)
+		b.popScope()
+	}
+	if isSwitch && !hasDefault {
+		// No default: the tag may match nothing and fall straight through.
+		b.edge(cur, after)
+	}
+	// A `select {}` with no clauses blocks forever: after keeps no
+	// inbound edge, correctly marking trailing code unreachable.
+	return after
+}
+
+func (b *cfgBuilder) pushScope(label *string, brk, cont, ft *Block) {
+	sc := loopScope{breakTarget: brk, continueTgt: cont, fallthroughTo: ft}
+	if label != nil {
+		sc.label = *label
+	}
+	b.scopes = append(b.scopes, sc)
+}
+
+func (b *cfgBuilder) popScope() { b.scopes = b.scopes[:len(b.scopes)-1] }
+
+// Reaches reports whether to is reachable from from along CFG edges.
+func (c *CFG) Reaches(from, to *Block) bool {
+	seen := make([]bool, len(c.Blocks))
+	stack := []*Block{from}
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if blk == to {
+			return true
+		}
+		if seen[blk.Index] {
+			continue
+		}
+		seen[blk.Index] = true
+		stack = append(stack, blk.Succs...)
+	}
+	return false
+}

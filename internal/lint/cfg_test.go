@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildCFG parses one function body and builds its CFG.
+func buildCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	return NewCFG(fd.Body)
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	cfg := buildCFG(t, "x := 1\n_ = x\nreturn")
+	if !cfg.Reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("straight-line body must reach exit")
+	}
+	if len(cfg.Entry.Nodes) != 3 {
+		t.Fatalf("entry block has %d nodes, want 3", len(cfg.Entry.Nodes))
+	}
+}
+
+func TestCFGInfiniteLoopWithoutBreakDoesNotReachExit(t *testing.T) {
+	cfg := buildCFG(t, "for {\n_ = 1\n}")
+	if cfg.Reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("for{} with no break must not reach exit")
+	}
+}
+
+func TestCFGInfiniteLoopWithBreakReachesExit(t *testing.T) {
+	cfg := buildCFG(t, "for {\nbreak\n}")
+	if !cfg.Reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("for{break} must reach exit")
+	}
+}
+
+func TestCFGLabeledBreakEscapesOuterLoop(t *testing.T) {
+	cfg := buildCFG(t, "outer:\nfor {\nfor {\nbreak outer\n}\n}")
+	if !cfg.Reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("labeled break out of nested infinite loops must reach exit")
+	}
+	// Without the label, the inner break only escapes one level.
+	cfg = buildCFG(t, "for {\nfor {\nbreak\n}\n}")
+	if cfg.Reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("unlabeled break escapes only the inner loop; outer for{} still spins")
+	}
+}
+
+func TestCFGConditionalLoopReachesExit(t *testing.T) {
+	cfg := buildCFG(t, "for i := 0; i < 10; i++ {\n_ = i\n}")
+	if !cfg.Reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("bounded for must reach exit")
+	}
+}
+
+func TestCFGSelectWithReturnCase(t *testing.T) {
+	cfg := buildCFG(t, `ch := make(chan int)
+for {
+	select {
+	case <-ch:
+		return
+	case v := <-ch:
+		_ = v
+	}
+}`)
+	if !cfg.Reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("loop with a returning select case must reach exit")
+	}
+}
+
+func TestCFGEmptySelectBlocksForever(t *testing.T) {
+	cfg := buildCFG(t, "select {}\n_ = 1")
+	if cfg.Reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("select{} never proceeds; exit must be unreachable")
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	cfg := buildCFG(t, `switch 1 {
+case 1:
+	fallthrough
+case 2:
+	_ = 2
+}`)
+	if !cfg.Reaches(cfg.Entry, cfg.Exit) {
+		t.Fatal("switch must reach exit")
+	}
+}
+
+func TestCFGReturnEndsFlow(t *testing.T) {
+	cfg := buildCFG(t, "return\n_ = 1")
+	// The trailing statement lives in a block with no inbound edges.
+	var orphan *Block
+	for _, b := range cfg.Blocks {
+		if len(b.Nodes) == 1 {
+			if _, ok := b.Nodes[0].(*ast.AssignStmt); ok {
+				orphan = b
+			}
+		}
+	}
+	if orphan == nil {
+		t.Fatal("expected a block holding the unreachable assignment")
+	}
+	if cfg.Reaches(cfg.Entry, orphan) {
+		t.Fatal("code after return must be unreachable")
+	}
+}

@@ -1,0 +1,63 @@
+package lint
+
+import "go/types"
+
+// Facts is the cross-package fact store: per-analyzer summaries keyed
+// by the defining object (a function, type or field). All packages in
+// one RunPackages invocation share a loader and therefore a single
+// types.Object identity per declaration, so a fact exported while
+// analyzing repro/internal/sim is found again when a dependent package
+// resolves the same object through its imports.
+//
+// Facts deliberately carry `any` payloads: each analyzer defines its
+// own summary type and is the only reader of its own namespace, so
+// there is nothing to gain from generics here and the store stays one
+// map.
+type Facts struct {
+	m map[factKey]any
+	// order preserves insertion so enumeration (AllObjectFacts) is
+	// deterministic: the runner visits packages in a fixed order and
+	// analyzers export in source order.
+	order []factKey
+}
+
+type factKey struct {
+	analyzer string
+	obj      types.Object
+}
+
+// An ObjectFact pairs one exported fact with its object, for
+// enumeration by analyzers that aggregate globally (lockdisc's
+// lock-ordering graph).
+type ObjectFact struct {
+	Obj  types.Object
+	Fact any
+}
+
+// NewFacts returns an empty store. The runner creates one per
+// RunPackages invocation; tests that drive passes by hand can too.
+func NewFacts() *Facts {
+	return &Facts{m: make(map[factKey]any)}
+}
+
+func (f *Facts) set(analyzer string, obj types.Object, fact any) {
+	k := factKey{analyzer, obj}
+	if _, seen := f.m[k]; !seen {
+		f.order = append(f.order, k)
+	}
+	f.m[k] = fact
+}
+
+func (f *Facts) get(analyzer string, obj types.Object) any {
+	return f.m[factKey{analyzer, obj}]
+}
+
+func (f *Facts) all(analyzer string) []ObjectFact {
+	var out []ObjectFact
+	for _, k := range f.order {
+		if k.analyzer == analyzer {
+			out = append(out, ObjectFact{Obj: k.obj, Fact: f.m[k]})
+		}
+	}
+	return out
+}

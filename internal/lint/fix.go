@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file applies suggested fixes. detlint -fix rewrites the files in
+// place; -diff renders the same edits as a unified diff instead. Edits
+// are byte-offset splices resolved through the FileSet, applied
+// back-to-front per file so earlier offsets stay valid, and refused
+// when two fixes overlap (the second finding will reappear on the next
+// run once the first fix lands — fixpoint over fancy merging).
+
+// A FileEdit is the resolved form of one TextEdit: byte offsets into
+// the named file.
+type FileEdit struct {
+	File     string
+	Offset   int
+	End      int
+	NewText  string
+	Analyzer string
+}
+
+// CollectEdits resolves the first suggested fix of every diagnostic
+// into per-file byte edits, dropping any fix that overlaps an
+// already-collected one (deterministically: diagnostics arrive sorted).
+func CollectEdits(fset *token.FileSet, diags []Diagnostic) []FileEdit {
+	var edits []FileEdit
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			continue
+		}
+		fix := d.SuggestedFixes[0]
+		resolved := make([]FileEdit, 0, len(fix.Edits))
+		ok := true
+		for _, e := range fix.Edits {
+			pos, end := fset.Position(e.Pos), fset.Position(e.End)
+			if !pos.IsValid() || !end.IsValid() || pos.Filename != end.Filename || end.Offset < pos.Offset {
+				ok = false
+				break
+			}
+			fe := FileEdit{File: pos.Filename, Offset: pos.Offset, End: end.Offset, NewText: e.NewText, Analyzer: d.Analyzer}
+			for _, prev := range edits {
+				if prev.File == fe.File && fe.Offset < prev.End && prev.Offset < fe.End {
+					ok = false // overlap: defer to a later run
+					break
+				}
+			}
+			if !ok {
+				break
+			}
+			resolved = append(resolved, fe)
+		}
+		if ok {
+			edits = append(edits, resolved...)
+		}
+	}
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].File != edits[j].File {
+			return edits[i].File < edits[j].File
+		}
+		return edits[i].Offset < edits[j].Offset
+	})
+	return edits
+}
+
+// ApplyEdits splices the edits into their files' current contents and
+// returns the new content per file (files without edits are absent).
+func ApplyEdits(edits []FileEdit) (map[string][]byte, error) {
+	byFile := make(map[string][]FileEdit)
+	for _, e := range edits {
+		byFile[e.File] = append(byFile[e.File], e)
+	}
+	out := make(map[string][]byte, len(byFile))
+	for file, list := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, fmt.Errorf("lint: applying fixes: %w", err)
+		}
+		// Back-to-front so earlier offsets survive each splice.
+		sort.Slice(list, func(i, j int) bool { return list[i].Offset > list[j].Offset })
+		for _, e := range list {
+			if e.End > len(src) {
+				return nil, fmt.Errorf("lint: fix in %s spans [%d,%d) past EOF %d (file changed since analysis?)", file, e.Offset, e.End, len(src))
+			}
+			src = append(src[:e.Offset:e.Offset], append([]byte(e.NewText), src[e.End:]...)...)
+		}
+		out[file] = src
+	}
+	return out, nil
+}
+
+// WriteFixes applies the edits and rewrites each touched file in place,
+// returning the touched paths sorted.
+func WriteFixes(edits []FileEdit) ([]string, error) {
+	fixed, err := ApplyEdits(edits)
+	if err != nil {
+		return nil, err
+	}
+	files := make([]string, 0, len(fixed))
+	for file := range fixed {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		info, err := os.Stat(file)
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(file, fixed[file], info.Mode().Perm()); err != nil {
+			return nil, err
+		}
+	}
+	return files, nil
+}
+
+// DiffFixes renders the edits as a unified diff without touching any
+// file — the -diff preview.
+func DiffFixes(edits []FileEdit) (string, error) {
+	fixed, err := ApplyEdits(edits)
+	if err != nil {
+		return "", err
+	}
+	files := make([]string, 0, len(fixed))
+	for file := range fixed {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	var sb strings.Builder
+	for _, file := range files {
+		old, err := os.ReadFile(file)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "--- %s\n+++ %s (fixed)\n", file, file)
+		sb.WriteString(unifiedDiff(strings.Split(string(old), "\n"), strings.Split(string(fixed[file]), "\n")))
+	}
+	return sb.String(), nil
+}
+
+// unifiedDiff is a minimal LCS line diff: hunks of -/+ lines with one
+// line of context and @@ headers. Quadratic, fine for source files.
+func unifiedDiff(a, b []string) string {
+	// lcs[i][j] = length of the LCS of a[i:] and b[j:].
+	lcs := make([][]int, len(a)+1)
+	for i := range lcs {
+		lcs[i] = make([]int, len(b)+1)
+	}
+	for i := len(a) - 1; i >= 0; i-- {
+		for j := len(b) - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	type op struct {
+		kind byte // ' ', '-', '+'
+		text string
+		aLn  int
+		bLn  int
+	}
+	var ops []op
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, op{' ', a[i], i + 1, j + 1})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, op{'-', a[i], i + 1, j})
+			i++
+		default:
+			ops = append(ops, op{'+', b[j], i, j + 1})
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		ops = append(ops, op{'-', a[i], i + 1, j})
+	}
+	for ; j < len(b); j++ {
+		ops = append(ops, op{'+', b[j], i, j + 1})
+	}
+
+	var sb strings.Builder
+	for k := 0; k < len(ops); {
+		if ops[k].kind == ' ' {
+			k++
+			continue
+		}
+		// Hunk: expand to one context line on each side.
+		start := k
+		end := k
+		for end < len(ops) && !(ops[end].kind == ' ' && end+1 < len(ops) && ops[end+1].kind == ' ') {
+			end++
+		}
+		lo := start
+		if lo > 0 {
+			lo--
+		}
+		hi := end
+		if hi < len(ops) {
+			hi++
+		}
+		aStart, bStart := ops[lo].aLn, ops[lo].bLn
+		if aStart == 0 {
+			aStart = 1
+		}
+		if bStart == 0 {
+			bStart = 1
+		}
+		var aCount, bCount int
+		for _, o := range ops[lo:hi] {
+			if o.kind != '+' {
+				aCount++
+			}
+			if o.kind != '-' {
+				bCount++
+			}
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart, aCount, bStart, bCount)
+		for _, o := range ops[lo:hi] {
+			sb.WriteByte(o.kind)
+			sb.WriteString(o.text)
+			sb.WriteByte('\n')
+		}
+		k = hi
+	}
+	return sb.String()
+}

@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeFixture writes src to a temp file and returns its path plus a
+// FileSet that has the file tokenized (so token.Pos values resolve).
+func writeFixture(t *testing.T, src string) (string, *token.FileSet, token.Pos) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fix.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, fset, f.Pos()
+}
+
+func TestApplyAndWriteFixes(t *testing.T) {
+	src := "package p\n\nvar x = old()\n"
+	path, fset, base := writeFixture(t, src)
+	at := func(off int) token.Pos { return base + token.Pos(off) }
+	// Replace "old" (offset 19..22 from file start) with "new".
+	off := strings.Index(src, "old")
+	d := Diagnostic{
+		Pos:      fset.Position(at(off)),
+		Analyzer: "demo",
+		Message:  "use new",
+		SuggestedFixes: []SuggestedFix{{
+			Message: "replace old with new",
+			Edits:   []TextEdit{{Pos: at(off), End: at(off + 3), NewText: "new"}},
+		}},
+	}
+	edits := CollectEdits(fset, []Diagnostic{d})
+	if len(edits) != 1 {
+		t.Fatalf("collected %d edits, want 1", len(edits))
+	}
+	files, err := WriteFixes(edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 1 || files[0] != path {
+		t.Fatalf("wrote %v, want [%s]", files, path)
+	}
+	got, _ := os.ReadFile(path)
+	if want := "package p\n\nvar x = new()\n"; string(got) != want {
+		t.Fatalf("fixed file:\n%q\nwant\n%q", got, want)
+	}
+}
+
+func TestOverlappingFixesDropLater(t *testing.T) {
+	src := "package p\n\nvar x = aaaa\n"
+	_, fset, base := writeFixture(t, src)
+	off := strings.Index(src, "aaaa")
+	at := func(o int) token.Pos { return base + token.Pos(o) }
+	mk := func(lo, hi int, text string) Diagnostic {
+		return Diagnostic{
+			Pos: fset.Position(at(lo)), Analyzer: "demo", Message: "m",
+			SuggestedFixes: []SuggestedFix{{Edits: []TextEdit{{Pos: at(lo), End: at(hi), NewText: text}}}},
+		}
+	}
+	edits := CollectEdits(fset, []Diagnostic{
+		mk(off, off+4, "bbbb"),
+		mk(off+2, off+6, "cccc"), // overlaps the first: must be dropped
+	})
+	if len(edits) != 1 || edits[0].NewText != "bbbb" {
+		t.Fatalf("overlap not dropped: %+v", edits)
+	}
+}
+
+func TestDiffFixesShowsHunk(t *testing.T) {
+	src := "package p\n\nvar keep = 1\nvar x = old()\nvar keep2 = 2\n"
+	path, fset, base := writeFixture(t, src)
+	off := strings.Index(src, "old")
+	d := Diagnostic{
+		Pos: fset.Position(base + token.Pos(off)), Analyzer: "demo", Message: "m",
+		SuggestedFixes: []SuggestedFix{{Edits: []TextEdit{{Pos: base + token.Pos(off), End: base + token.Pos(off+3), NewText: "new"}}}},
+	}
+	diff, err := DiffFixes(CollectEdits(fset, []Diagnostic{d}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"--- " + path, "-var x = old()", "+var x = new()", "@@"} {
+		if !strings.Contains(diff, want) {
+			t.Fatalf("diff missing %q:\n%s", want, diff)
+		}
+	}
+	// Preview must not modify the file.
+	got, _ := os.ReadFile(path)
+	if string(got) != src {
+		t.Fatal("DiffFixes modified the file")
+	}
+}

@@ -137,6 +137,120 @@ func a() {
 	}
 }
 
+// TestAllowMultiStatementLine pins the directive's granularity: allow
+// is line-scoped, so one directive covers every finding its analyzer
+// raises on that line — including multiple statements jammed onto it.
+func TestAllowMultiStatementLine(t *testing.T) {
+	pkg := parseOne(t, `package fixture
+
+func a() {
+	_ = 1 /* MARK */; _ = 2 /* MARK */ //detlint:allow marker one directive covers the whole line
+
+	_ = 3 /* MARK */; _ = 4 // MARK
+}
+`)
+	diags, err := RunPackages([]*Package{pkg}, []*Analyzer{lineReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Line 4's two findings are both suppressed; line 6's two both
+	// survive (the blank line 5 keeps them out of the directive's
+	// line-below reach).
+	if len(diags) != 2 {
+		t.Fatalf("want the 2 unsuppressed findings of line 6, got %v", diags)
+	}
+	for _, d := range diags {
+		if d.Pos.Line != 6 {
+			t.Fatalf("finding escaped from the allowed line: %v", diags)
+		}
+	}
+}
+
+// TestAllowAnalyzerTypo pins the near-miss rule: a misspelled analyzer
+// scope is an error, and crucially the finding it meant to suppress
+// still fires — a typo must never silently widen or void the escape
+// hatch.
+func TestAllowAnalyzerTypo(t *testing.T) {
+	pkg := parseOne(t, `package fixture
+
+func a() {
+	//detlint:allow markr the scope is misspelled
+	_ = 1 // MARK
+}
+`)
+	diags, err := RunPackages([]*Package{pkg}, []*Analyzer{lineReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, d := range diags {
+		msgs = append(msgs, d.Message)
+	}
+	if len(diags) != 2 {
+		t.Fatalf("want typo error + unsuppressed finding, got %v", msgs)
+	}
+	assertContains(t, msgs, `did you mean "marker"`)
+	assertContains(t, msgs, "marked line")
+}
+
+// TestGeneratedFilesExempt pins that machine-written files produce no
+// findings and no directive diagnostics: the fix belongs in the
+// generator.
+func TestGeneratedFilesExempt(t *testing.T) {
+	fset := token.NewFileSet()
+	gen, err := parser.ParseFile(fset, "gen.go", `// Code generated by fixturegen. DO NOT EDIT.
+
+package fixture
+
+func g() {
+	//detlint:allow
+	_ = 1 // MARK
+}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand, err := parser.ParseFile(fset, "hand.go", `package fixture
+
+func h() {
+	_ = 1 // MARK
+}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &Package{Path: "fixture", Fset: fset, Files: []*ast.File{gen, hand}}
+	diags, err := RunPackages([]*Package{pkg}, []*Analyzer{lineReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gen.go contributes nothing — not its MARK finding, not its bare
+	// reasonless allow. hand.go still reports.
+	if len(diags) != 1 || diags[0].Pos.Filename != "hand.go" {
+		t.Fatalf("want only hand.go's finding, got %v", diags)
+	}
+}
+
+// TestGeneratedMarkerMustPrecedePackage pins the convention's position
+// rule: the marker only counts before the package clause.
+func TestGeneratedMarkerMustPrecedePackage(t *testing.T) {
+	pkg := parseOne(t, `package fixture
+
+// Code generated by fixturegen. DO NOT EDIT.
+
+func a() {
+	_ = 1 // MARK
+}
+`)
+	diags, err := RunPackages([]*Package{pkg}, []*Analyzer{lineReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("marker after package clause must not exempt the file, got %v", diags)
+	}
+}
+
 func TestDiagnosticsSorted(t *testing.T) {
 	pkg := parseOne(t, `package fixture
 

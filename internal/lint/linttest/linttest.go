@@ -19,9 +19,7 @@ package linttest
 import (
 	"fmt"
 	"go/ast"
-	"go/importer"
 	"go/parser"
-	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
@@ -113,13 +111,16 @@ func fixtureFiles(t *testing.T, dir string) []string {
 }
 
 // loadFixture parses and type-checks every non-test Go file in dir as
-// one package. Imports resolve against the standard library only.
+// one package. Imports resolve against the standard library only,
+// through the process-wide shared importer so the whole fixture suite
+// type-checks the stdlib once.
 func loadFixture(dir string) (*lint.Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
+	defer lint.LockLoader()()
+	fset := lint.SharedFset()
 	var files []*ast.File
 	var testFiles []string
 	for _, e := range entries {
@@ -147,7 +148,7 @@ func loadFixture(dir string) (*lint.Package, error) {
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	conf := types.Config{Importer: lint.StdImporter()}
 	tpkg, err := conf.Check(filepath.Base(dir), fset, files, info)
 	if err != nil {
 		return nil, err

@@ -13,6 +13,9 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 )
 
 // A Package is one loaded, parsed and fully type-checked package ready
@@ -41,38 +44,91 @@ type listedPkg struct {
 	}
 }
 
+// The expensive parts of loading are shared process-wide: one FileSet,
+// one source importer (so the standard library is parsed and
+// type-checked once, not once per Load call or per test fixture), one
+// memoized `go list` invocation per (dir, patterns), and memoized
+// type-checked module packages. `make lint` and the analyzer self-test
+// suite each hit the stdlib importer dozens of times; before this cache
+// every hit re-type-checked fmt-and-friends from GOROOT source.
+var shared struct {
+	once    sync.Once
+	mu      sync.Mutex
+	fset    *token.FileSet
+	std     types.Importer
+	lists   map[string][]byte    // `go list` stdout by dir+patterns
+	checked map[string]*Package  // type-checked module packages by dir+path
+	meta    map[string]*listedPkg // listed metadata by dir+path
+}
+
+func sharedInit() {
+	shared.once.Do(func() {
+		// The source importer type-checks stdlib dependencies from GOROOT
+		// source; turning cgo off keeps it on the pure-Go variants of net &
+		// friends, which avoids invoking the cgo tool entirely.
+		ctxt := build.Default
+		ctxt.CgoEnabled = false
+		build.Default = ctxt
+		shared.fset = token.NewFileSet()
+		shared.std = importer.ForCompiler(shared.fset, "source", nil)
+		shared.lists = make(map[string][]byte)
+		shared.checked = make(map[string]*Package)
+		shared.meta = make(map[string]*listedPkg)
+	})
+}
+
+// SharedFset returns the process-wide FileSet every loaded package (and
+// linttest fixture) is positioned in.
+func SharedFset() *token.FileSet {
+	sharedInit()
+	return shared.fset
+}
+
+// StdImporter returns the process-wide stdlib source importer. Not safe
+// for concurrent use; callers serialize through LoadMu.
+func StdImporter() types.Importer {
+	sharedInit()
+	return shared.std
+}
+
+// LockLoader serializes access to the shared loader state (the source
+// importer caches internally without locking). It returns the unlock.
+func LockLoader() func() {
+	sharedInit()
+	shared.mu.Lock()
+	return shared.mu.Unlock
+}
+
+// ResetLoadCache drops the memoized `go list` output and type-checked
+// module packages while keeping the FileSet and the stdlib importer —
+// the expensive part. The detlint front-end calls it at the top of each
+// invocation so the module is re-read from disk (a -fix rewrite, an
+// edit between runs), while the many Load calls *within* one invocation
+// still share everything.
+func ResetLoadCache() {
+	defer LockLoader()()
+	shared.lists = make(map[string][]byte)
+	shared.checked = make(map[string]*Package)
+	shared.meta = make(map[string]*listedPkg)
+}
+
 // loader resolves and type-checks packages of the current module from
 // source, delegating out-of-module imports (the standard library) to
-// the stock source importer. Everything works offline: `go list` only
+// the shared source importer. Everything works offline: `go list` only
 // inspects the local tree because the module has no external
 // dependencies.
 type loader struct {
-	dir     string // where go list runs
-	fset    *token.FileSet
-	meta    map[string]*listedPkg // module packages by import path
-	checked map[string]*Package
-	std     types.Importer
+	dir string // where go list runs
 }
 
 // Load type-checks the packages matching patterns (relative to dir, in
 // the usual `go list` pattern syntax) along with their in-module
-// dependencies, and returns the packages the patterns named.
+// dependencies, and returns the packages the patterns named. Results
+// are memoized process-wide: a second Load of the same packages is
+// effectively free.
 func Load(dir string, patterns ...string) ([]*Package, error) {
-	// The source importer type-checks stdlib dependencies from GOROOT
-	// source; turning cgo off keeps it on the pure-Go variants of net &
-	// friends, which avoids invoking the cgo tool entirely.
-	ctxt := build.Default
-	ctxt.CgoEnabled = false
-	build.Default = ctxt
-
-	ld := &loader{
-		dir:     dir,
-		fset:    token.NewFileSet(),
-		meta:    make(map[string]*listedPkg),
-		checked: make(map[string]*Package),
-	}
-	ld.std = importer.ForCompiler(ld.fset, "source", nil)
-
+	defer LockLoader()()
+	ld := &loader{dir: dir}
 	targets, err := ld.list(patterns)
 	if err != nil {
 		return nil, err
@@ -88,18 +144,26 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return out, nil
 }
 
-// list runs `go list -deps -json` once, caches the metadata of every
-// in-module package in the dependency closure, and returns the import
-// paths the patterns matched directly.
+func (ld *loader) key(path string) string { return ld.dir + "\x00" + path }
+
+// list runs `go list -deps -json` once per (dir, patterns), caches the
+// metadata of every in-module package in the dependency closure, and
+// returns the import paths the patterns matched directly.
 func (ld *loader) list(patterns []string) ([]string, error) {
-	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Module,DepOnly"}, patterns...)
-	cmd := exec.Command("go", args...)
-	cmd.Dir = ld.dir
-	var stderr bytes.Buffer
-	cmd.Stderr = &stderr
-	out, err := cmd.Output()
-	if err != nil {
-		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	cacheKey := ld.dir + "\x00" + strings.Join(patterns, "\x00")
+	out, ok := shared.lists[cacheKey]
+	if !ok {
+		args := append([]string{"list", "-deps", "-json=ImportPath,Dir,GoFiles,TestGoFiles,XTestGoFiles,Module,DepOnly"}, patterns...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = ld.dir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		var err error
+		out, err = cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+		}
+		shared.lists[cacheKey] = out
 	}
 	var targets []string
 	dec := json.NewDecoder(bytes.NewReader(out))
@@ -115,7 +179,7 @@ func (ld *loader) list(patterns []string) ([]string, error) {
 		}
 		if p.Module != nil {
 			pkg := p.listedPkg
-			ld.meta[p.ImportPath] = &pkg
+			shared.meta[ld.key(p.ImportPath)] = &pkg
 		}
 		if !p.DepOnly {
 			targets = append(targets, p.ImportPath)
@@ -124,18 +188,19 @@ func (ld *loader) list(patterns []string) ([]string, error) {
 	return targets, nil
 }
 
-// check parses and type-checks one in-module package, memoized.
+// check parses and type-checks one in-module package, memoized
+// process-wide.
 func (ld *loader) check(path string) (*Package, error) {
-	if pkg, ok := ld.checked[path]; ok {
+	if pkg, ok := shared.checked[ld.key(path)]; ok {
 		return pkg, nil
 	}
-	meta, ok := ld.meta[path]
+	meta, ok := shared.meta[ld.key(path)]
 	if !ok {
 		return nil, fmt.Errorf("lint: package %s is not in the module dependency closure", path)
 	}
 	var files []*ast.File
 	for _, name := range meta.GoFiles {
-		f, err := parser.ParseFile(ld.fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		f, err := parser.ParseFile(shared.fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
 		}
@@ -149,44 +214,45 @@ func (ld *loader) check(path string) (*Package, error) {
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
 	conf := types.Config{Importer: (*chainImporter)(ld)}
-	tpkg, err := conf.Check(path, ld.fset, files, info)
+	tpkg, err := conf.Check(path, shared.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %v", path, err)
 	}
 	pkg := &Package{
 		Path:  path,
 		Dir:   meta.Dir,
-		Fset:  ld.fset,
+		Fset:  shared.fset,
 		Files: files,
 		Types: tpkg,
 		Info:  info,
 	}
-	for _, name := range meta.TestGoFiles {
-		pkg.TestGoFiles = append(pkg.TestGoFiles, filepath.Join(meta.Dir, name))
-	}
-	for _, name := range meta.XTestGoFiles {
+	names := make([]string, 0, len(meta.TestGoFiles)+len(meta.XTestGoFiles))
+	names = append(names, meta.TestGoFiles...)
+	names = append(names, meta.XTestGoFiles...)
+	sort.Strings(names)
+	for _, name := range names {
 		pkg.TestGoFiles = append(pkg.TestGoFiles, filepath.Join(meta.Dir, name))
 	}
 	if meta.Module != nil {
 		pkg.ModRoot = meta.Module.Dir
 	}
-	ld.checked[path] = pkg
+	shared.checked[ld.key(path)] = pkg
 	return pkg, nil
 }
 
 // chainImporter satisfies types.Importer: in-module packages are
 // type-checked from source by the loader itself, everything else (the
-// standard library) goes to the stock source importer.
+// standard library) goes to the shared source importer.
 type chainImporter loader
 
 func (c *chainImporter) Import(path string) (*types.Package, error) {
 	ld := (*loader)(c)
-	if _, ok := ld.meta[path]; ok {
+	if _, ok := shared.meta[ld.key(path)]; ok {
 		pkg, err := ld.check(path)
 		if err != nil {
 			return nil, err
 		}
 		return pkg.Types, nil
 	}
-	return ld.std.Import(path)
+	return shared.std.Import(path)
 }

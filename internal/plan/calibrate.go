@@ -202,6 +202,7 @@ func (pc *probeCache) rate(fanIn, n int, inter bool, passLen int64) (sim.Time, e
 	if err != nil {
 		return 0, err
 	}
+	//detlint:allow simunits deliberate ms-per-block rate: the conversion is the dimensional bridge
 	r := res.TotalTime / sim.Time(res.MergedBlocks)
 	pc.rates[key] = r
 	return r, nil

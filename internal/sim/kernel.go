@@ -103,6 +103,7 @@ func (c *calendar) nextAt() Time {
 func (c *calendar) push(e event, now Time) {
 	//detlint:allow floatcmp same-instant FIFO admission compares copied timestamps; exact equality is the intended semantics
 	if e.at == now && (len(c.fifo) == c.head || c.fifo[len(c.fifo)-1].at == e.at) {
+		//detlint:allow hotalloc amortized: the FIFO ring reaches steady-state capacity and is reused
 		c.fifo = append(c.fifo, e)
 		return
 	}
@@ -114,7 +115,9 @@ func (c *calendar) push(e event, now Time) {
 	// Tail fast path: later than everything pending (the common case —
 	// handlers schedule their next event a service time into the future).
 	if n := len(kk); n == c.hhead || !k.before(kk[n-1]) {
+		//detlint:allow hotalloc amortized: the pending-set arrays reach steady-state capacity and are reused
 		c.hkey = append(kk, k)
+		//detlint:allow hotalloc amortized: grows in lockstep with hkey above
 		c.hfn = append(c.hfn, e.fn)
 		return
 	}
@@ -129,7 +132,9 @@ func (c *calendar) push(e event, now Time) {
 	// General insert: scan from the tail and shift the later suffix up
 	// one slot. The pending set stays tiny, so the shift is a handful of
 	// element copies.
+	//detlint:allow hotalloc amortized: the pending-set arrays reach steady-state capacity and are reused
 	c.hkey = append(kk, ekey{})
+	//detlint:allow hotalloc amortized: grows in lockstep with hkey above
 	c.hfn = append(c.hfn, nil)
 	kk, fns := c.hkey, c.hfn
 	i := len(kk) - 1
@@ -202,6 +207,7 @@ func (c *calendar) release() {
 	if c.hkey == nil && c.fifo == nil {
 		return
 	}
+	//detlint:allow hotalloc once per kernel run, after the dispatch loop has drained
 	recycled := &calendar{hkey: c.hkey[:0], hfn: c.hfn[:0], fifo: c.fifo[:0]}
 	c.hkey, c.hfn, c.hhead, c.fifo, c.head = nil, nil, 0, nil, 0
 	calendarPool.Put(recycled)
@@ -283,6 +289,8 @@ func (k *Kernel) Run() error { return k.RunUntil(-1) }
 // means "forever"). The clock never advances past the last executed
 // event; if the calendar still holds later events when the horizon is
 // reached, RunUntil sets the clock to the horizon and returns nil.
+//
+//detlint:hotpath
 func (k *Kernel) RunUntil(horizon Time) error {
 	for k.cal.len() > 0 {
 		if k.stopped {

@@ -6,6 +6,8 @@ import "fmt"
 // Milliseconds are the natural unit of the paper's disk model (seek,
 // rotation and transfer are all quoted in ms), so the library uses them
 // throughout and offers helpers for display in seconds.
+//
+//detlint:unit ms
 type Time float64
 
 // Common spans.

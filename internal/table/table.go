@@ -42,6 +42,7 @@ func (f *Figure) AddSeries(label string) *Series {
 
 // xGrid returns the sorted union of all series' x values.
 func (f *Figure) xGrid() []float64 {
+	//detlint:allow floatcmp grid x values are copied verbatim from series inputs, so identical bits mean identical points
 	seen := map[float64]bool{}
 	var xs []float64
 	for _, s := range f.Series {

@@ -191,6 +191,7 @@ func (r *Recorder) DiskPhase(track int, phase Phase, start, end sim.Time) {
 	if r == nil || end <= start || !r.admit() {
 		return
 	}
+	//detlint:allow hotalloc tracing-enabled runs only; the zero-alloc path carries a nil recorder
 	r.disk = append(r.disk, DiskSpan{Track: track, Phase: phase, Start: start, End: end})
 }
 
@@ -224,6 +225,7 @@ func (r *Recorder) Mark(track int, name string, at sim.Time) {
 	if r == nil || !r.admit() {
 		return
 	}
+	//detlint:allow hotalloc tracing-enabled runs only; the zero-alloc path carries a nil recorder
 	r.marks = append(r.marks, Mark{Track: track, Name: name, At: at})
 }
 
