@@ -58,14 +58,14 @@ bench:
 # Performance ledger: run the figure benches twice each (they
 # regenerate whole panels; 2x keeps the run affordable while averaging
 # out single-iteration jitter) and the micro-benches at full precision,
-# then parse everything into BENCH_3.json. Commit the file so
+# then parse everything into BENCH_4.json. Commit the file so
 # optimization PRs carry their numbers; the compare step prints the
 # delta against the previous ledger and flags >10% regressions.
 bench-json:
 	{ go test -run '^$$' -bench '^Benchmark(Fig|All|Ablation|Ext|Anchor|Urn|TRMarkov)' -benchtime=2x . ; \
-	  go test -run '^$$' -bench '^Benchmark(Kernel|Disk|Cache|LoserTree|Merge|Service|Optimize)' -benchmem . ; } \
-	| go run ./cmd/benchjson -out BENCH_3.json
-	go run ./cmd/benchjson -compare BENCH_2.json BENCH_3.json
+	  go test -run '^$$' -bench '^Benchmark(Kernel|Disk|Cache|LoserTree|Merge|Service|Optimize|Explain)' -benchmem . ; } \
+	| go run ./cmd/benchjson -out BENCH_4.json
+	go run ./cmd/benchjson -compare BENCH_3.json BENCH_4.json
 
 # Run the simulation daemon on :8080 (see cmd/simd -h for flags).
 serve:

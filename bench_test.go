@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disk"
 	"repro/internal/experiments"
+	"repro/internal/explain"
 	"repro/internal/extsort"
 	"repro/internal/rng"
 	"repro/internal/service"
@@ -75,6 +76,10 @@ func BenchmarkExtRealTrace(b *testing.B)      { runFigure(b, "ext-realtrace") }
 func BenchmarkExtAdaptiveN(b *testing.B)      { runFigure(b, "ext-adaptive-n") }
 func BenchmarkExtK100(b *testing.B)           { runFigure(b, "ext-k100") }
 func BenchmarkExtModernDisk(b *testing.B)     { runFigure(b, "ext-modern-disk") }
+func BenchmarkExtDegradedDisk(b *testing.B)   { runFigure(b, "ext-degraded-disk") }
+func BenchmarkExtStallAttribution(b *testing.B) {
+	runFigure(b, "ext-stall-attribution")
+}
 
 // BenchmarkAllFiguresQuick regenerates the entire quick figure set
 // through the parallel sweep executor — the figure-level macro number
@@ -161,6 +166,39 @@ func BenchmarkKernelEventsTraced(b *testing.B) {
 	k.After(1, tick)
 	if err := k.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkExplainReport measures the offline trace-analytics pass:
+// one full stall-attribution report built (and conservation-checked)
+// per iteration from a pre-recorded trace of a faulty, write-enabled
+// merge. Tracing itself stays out of the loop — explain is pure
+// post-processing, so untraced simulations pay nothing for it (the
+// KernelEvents vs KernelEventsTraced pair above guards the recording
+// side).
+func BenchmarkExplainReport(b *testing.B) {
+	cfg := core.Default()
+	cfg.K = 8
+	cfg.D = 4
+	cfg.N = 3
+	cfg.BlocksPerRun = 60
+	cfg.InterRun = true
+	cfg.CacheBlocks = cfg.DefaultCache()
+	cfg.MergeTimePerBlock = sim.Ms(0.1)
+	cfg.Seed = 42
+	rec := trace.New(0)
+	cfg.Trace = rec
+	res, err := core.Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := explain.Build(rec, explain.Options{Makespan: res.TotalTime})
+		if err := rep.Check(res.StallTime); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

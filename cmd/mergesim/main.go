@@ -189,7 +189,7 @@ func main() {
 	}
 
 	if *jsonOut {
-		emitJSON(agg)
+		emitJSON(agg, cfg.Trace != nil && cfg.Trace.Truncated())
 		return
 	}
 
@@ -245,11 +245,15 @@ func main() {
 
 // emitJSON writes the shared machine-readable result schema
 // (core.ResultJSON) — the same document `simd` serves, so scripted
-// consumers can switch between the CLI and the daemon freely.
-func emitJSON(agg core.Aggregate) {
+// consumers can switch between the CLI and the daemon freely. A traced
+// run that hit its event cap flags trace_truncated, mirroring the
+// stderr warning for consumers that only read stdout.
+func emitJSON(agg core.Aggregate, traceTruncated bool) {
+	doc := core.NewResultJSON(agg)
+	doc.TraceTruncated = traceTruncated
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(core.NewResultJSON(agg)); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		fatal(err)
 	}
 }

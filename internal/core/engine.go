@@ -346,7 +346,7 @@ func (e *engine) fetchAndWait(p *sim.Proc, j int) {
 	stall := p.Now() - start
 	e.stallTime += stall
 	e.stallHist.Add(stall.Milliseconds())
-	e.cfg.Trace.CPUSpan(trace.CPUStall, start, p.Now())
+	e.cfg.Trace.CPUStallOn(j, start, p.Now())
 }
 
 // piece is one run's share of a fetch batch.

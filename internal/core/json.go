@@ -67,6 +67,12 @@ type ResultJSON struct {
 	CI95Seconds  float64     `json:"ci95_total_seconds"`
 	MeanSuccess  float64     `json:"mean_success_ratio"`
 	Results      []TrialJSON `json:"results"`
+
+	// TraceTruncated is set by traced front-ends when the run's trace
+	// recorder hit its event cap: the result numbers are complete (the
+	// engine never depends on the recorder) but the exported trace — and
+	// anything derived from it — is not. Absent on untraced runs.
+	TraceTruncated bool `json:"trace_truncated,omitempty"`
 }
 
 // NewResultJSON converts an Aggregate into the shared result schema.

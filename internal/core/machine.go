@@ -254,7 +254,7 @@ func (m *machine) arrivalCheck() bool {
 		stall := now - m.stallStart
 		e.stallTime += stall
 		e.stallHist.Add(stall.Milliseconds())
-		e.cfg.Trace.CPUSpan(trace.CPUStall, m.stallStart, now)
+		e.cfg.Trace.CPUStallOn(m.j, m.stallStart, now)
 		return true
 	}
 	m.watchRun = m.j

@@ -207,8 +207,9 @@ func (d *Disk) SetRequestObserver(fn func(RequestTrace)) { d.onRequest = fn }
 
 // SetTrace attaches a trace recorder (nil-safe): every dispatched
 // request is decomposed into seek/rotation/retry/transfer phase spans
-// on the given track, and outage parks become outage spans. The
-// recorder is observation-only — attaching one never changes timing.
+// on the given track, outage parks become outage spans, and every
+// enqueue and dispatch drops a queue-depth sample. The recorder is
+// observation-only — attaching one never changes timing.
 func (d *Disk) SetTrace(tr *trace.Recorder, track int) {
 	d.tr = tr
 	d.trTrack = track
@@ -268,6 +269,7 @@ func (d *Disk) enqueue(req *Request) *Request {
 	if len(d.queue) > d.stats.MaxQueueLen {
 		d.stats.MaxQueueLen = len(d.queue)
 	}
+	d.tr.QueueSample(d.trTrack, req.enqueuedAt, len(d.queue))
 	if !d.busy {
 		d.startNext()
 	}
@@ -383,6 +385,7 @@ func (d *Disk) startNext() {
 		}
 	}
 	req := d.pickNext()
+	d.tr.QueueSample(d.trTrack, now, len(d.queue))
 	d.setBusy(true)
 	d.stats.Requests++
 	d.stats.Blocks += int64(req.Count)

@@ -84,6 +84,7 @@ func All() []Spec {
 		{ID: "ext-k100", Title: "Extension: the k=100 sweep the paper omitted", Run: extK100},
 		{ID: "ext-modern-disk", Title: "Extension: the strategies on a late-2000s drive", Run: extModernDisk},
 		{ID: "ext-degraded-disk", Title: "Extension: one disk fail-slow — strategy sensitivity to a degraded arm", Run: extDegradedDisk},
+		{ID: "ext-stall-attribution", Title: "Extension: where the time goes — stall attribution over the buffer sweep", Run: extStallAttribution},
 	}
 }
 

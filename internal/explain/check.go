@@ -1,0 +1,68 @@
+package explain
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Check enforces the conservation invariant: every disk's phase
+// breakdown plus idle tiles the makespan, the CPU's compute + stall +
+// initial load + idle tiles the makespan, stall attribution is lossless
+// (by-disk + unattributed = total; by-phase + queued = attributed), and
+// the trace-side stall total matches the engine-side total stallTime
+// (pass Result.StallTime). A truncated trace fails outright: dropped
+// spans make every identity unverifiable.
+//
+// Tolerance is Epsilon plus a makespan-relative term covering float
+// re-association, which in practice leaves residuals at exactly zero
+// because the report repeats the engine's own additions in order.
+func (rep *Report) Check(stallTime sim.Time) error {
+	if rep.Truncated {
+		return fmt.Errorf("explain: trace truncated at the event cap; report is incomplete")
+	}
+	tol := Epsilon + sim.Time(1e-9*float64(rep.Makespan))
+	abs := func(t sim.Time) sim.Time {
+		if t < 0 {
+			return -t
+		}
+		return t
+	}
+	for _, d := range rep.Disks {
+		if abs(d.Phases.Busy()-d.Busy) > tol {
+			return fmt.Errorf("explain: disk %s phase sum %v != busy %v", d.Name, d.Phases.Busy(), d.Busy)
+		}
+		if abs(d.Busy+d.Idle-rep.Makespan) > tol {
+			return fmt.Errorf("explain: disk %s busy %v + idle %v != makespan %v",
+				d.Name, d.Busy, d.Idle, rep.Makespan)
+		}
+		if d.Idle < -tol {
+			return fmt.Errorf("explain: disk %s busy %v exceeds makespan %v", d.Name, d.Busy, rep.Makespan)
+		}
+	}
+	cpu := rep.CPU
+	if abs(cpu.Compute+cpu.Stall+cpu.InitialLoad+cpu.Idle-rep.Makespan) > tol {
+		return fmt.Errorf("explain: cpu compute %v + stall %v + initial %v + idle %v != makespan %v",
+			cpu.Compute, cpu.Stall, cpu.InitialLoad, cpu.Idle, rep.Makespan)
+	}
+	if cpu.Idle < -tol {
+		return fmt.Errorf("explain: cpu accounted time exceeds makespan %v by %v", rep.Makespan, -cpu.Idle)
+	}
+	var attributed sim.Time
+	for _, d := range rep.Stall.ByDisk {
+		attributed += d.Stall
+	}
+	if abs(attributed+rep.Stall.Unattributed-rep.Stall.Total) > tol {
+		return fmt.Errorf("explain: stall by-disk %v + unattributed %v != total %v",
+			attributed, rep.Stall.Unattributed, rep.Stall.Total)
+	}
+	if abs(rep.Stall.ByPhase.Busy()+rep.Stall.Queued-attributed) > tol {
+		return fmt.Errorf("explain: stall by-phase %v + queued %v != attributed %v",
+			rep.Stall.ByPhase.Busy(), rep.Stall.Queued, attributed)
+	}
+	if abs(rep.Stall.Total-stallTime) > tol {
+		return fmt.Errorf("explain: trace stall total %v != engine stall time %v (Δ %v)",
+			rep.Stall.Total, stallTime, rep.Stall.Total-stallTime)
+	}
+	return nil
+}

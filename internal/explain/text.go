@@ -1,0 +1,86 @@
+package explain
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// WriteText renders the report as a fixed-width human-readable summary.
+// The layout is stable: scripts may diff two reports line by line.
+func (rep *Report) WriteText(w io.Writer) error {
+	ew := &errWriter{w: w}
+	pct := func(t sim.Time) float64 {
+		if rep.Makespan <= 0 {
+			return 0
+		}
+		return 100 * float64(t/rep.Makespan)
+	}
+	fmt.Fprintf(ew, "makespan %.3f ms", float64(rep.Makespan))
+	if rep.Truncated {
+		fmt.Fprintf(ew, "  [TRUNCATED TRACE — totals incomplete]")
+	}
+	fmt.Fprintf(ew, "\n\ncpu\n")
+	fmt.Fprintf(ew, "  compute      %12.3f ms  %5.1f%%\n", float64(rep.CPU.Compute), pct(rep.CPU.Compute))
+	fmt.Fprintf(ew, "  stall        %12.3f ms  %5.1f%%\n", float64(rep.CPU.Stall), pct(rep.CPU.Stall))
+	fmt.Fprintf(ew, "  initial load %12.3f ms  %5.1f%%\n", float64(rep.CPU.InitialLoad), pct(rep.CPU.InitialLoad))
+	fmt.Fprintf(ew, "  idle         %12.3f ms  %5.1f%%\n", float64(rep.CPU.Idle), pct(rep.CPU.Idle))
+
+	fmt.Fprintf(ew, "\ndisks\n  %-12s %9s%9s%9s%10s%9s%8s%7s%7s\n",
+		"", "seek", "rot", "retry", "transfer", "outage", "util", "q-mean", "q-max")
+	for _, d := range rep.Disks {
+		fmt.Fprintf(ew, "  %-12s %9.1f%9.1f%9.1f%10.1f%9.1f%7.1f%%%7.2f%7d\n",
+			d.Name, float64(d.Phases.Seek), float64(d.Phases.Rotation), float64(d.Phases.Retry),
+			float64(d.Phases.Transfer), float64(d.Phases.Outage),
+			100*d.Utilization, d.Queue.Mean, d.Queue.Max)
+	}
+
+	fmt.Fprintf(ew, "\nstall attribution  (total %.3f ms)\n", float64(rep.Stall.Total))
+	for _, d := range rep.Stall.ByDisk {
+		fmt.Fprintf(ew, "  %-12s %12.3f ms  %5.1f%%  (%d stalls)\n",
+			d.Name, float64(d.Stall), pct(d.Stall), d.Count)
+	}
+	if rep.Stall.Unattributed > 0 {
+		fmt.Fprintf(ew, "  %-12s %12.3f ms\n", "unattributed", float64(rep.Stall.Unattributed))
+	}
+	b := rep.Stall.ByPhase
+	fmt.Fprintf(ew, "  by phase: seek %.1f  rotation %.1f  retry %.1f  transfer %.1f  outage %.1f  queued %.1f\n",
+		float64(b.Seek), float64(b.Rotation), float64(b.Retry), float64(b.Transfer),
+		float64(b.Outage), float64(rep.Stall.Queued))
+
+	fmt.Fprintf(ew, "\ncache occupancy: mean %.2f  p95 %d  max %d blocks\n",
+		rep.Cache.Mean, rep.Cache.P95, rep.Cache.Max)
+
+	if len(rep.Chains) > 0 {
+		fmt.Fprintf(ew, "\ntop stall chains\n")
+		for i, c := range rep.Chains {
+			disk := c.Disk
+			if disk == "" {
+				disk = "?"
+			}
+			fmt.Fprintf(ew, "  %2d. run %-3d %9.3f ms  [%.3f → %.3f]  on %-8s queued %.3f\n",
+				i+1, c.Run, float64(c.Duration), float64(c.Start), float64(c.End),
+				disk, float64(c.Queued))
+		}
+	}
+	return ew.err
+}
+
+// errWriter latches the first write error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+		return len(p), nil
+	}
+	return n, nil
+}

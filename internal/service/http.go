@@ -21,6 +21,7 @@ const maxBodyBytes = 1 << 20
 //
 //	POST /v1/simulate  one point, aggregated over trials → core.ResultJSON
 //	POST /v1/sweep     a batch of points → {"trials":N,"points":[...]}
+//	POST /v1/explain   one traced point → result + stall-attribution report
 //	GET  /healthz      {"status":"ok"} or 503 {"status":"draining"}
 //	GET  /metrics      Prometheus text exposition
 //
@@ -32,6 +33,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/simulate", s.instrumented("simulate", s.handleSimulate))
 	mux.HandleFunc("POST /v1/sweep", s.instrumented("sweep", s.handleSweep))
 	mux.HandleFunc("POST /v1/optimize", s.instrumented("optimize", s.handleOptimize))
+	mux.HandleFunc("POST /v1/explain", s.instrumented("explain", s.handleExplain))
 	mux.HandleFunc("GET /healthz", s.instrumented("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrumented("metrics", s.handleMetrics))
 	return s.withRequestID(mux)
@@ -87,6 +89,19 @@ func (s *Service) handleSimulate(w http.ResponseWriter, r *http.Request) int {
 	return writeJSON(w, http.StatusOK, body)
 }
 
+func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) int {
+	var req SimulateRequest
+	if code := decodeBody(w, r, &req); code != 0 {
+		return code
+	}
+	body, status, err := s.Explain(r.Context(), req)
+	if err != nil {
+		return s.writeError(w, err)
+	}
+	w.Header().Set("X-Cache", string(status))
+	return writeJSON(w, http.StatusOK, body)
+}
+
 func (s *Service) handleSweep(w http.ResponseWriter, r *http.Request) int {
 	var req SweepRequest
 	if code := decodeBody(w, r, &req); code != 0 {
@@ -124,6 +139,7 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) int {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	entries, bytes := s.cache.size()
 	s.met.writePrometheus(w, s.gate.depth(), entries, bytes, s.diskStats())
+	writeGoMetrics(w)
 	return http.StatusOK
 }
 

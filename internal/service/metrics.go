@@ -70,6 +70,10 @@ type metrics struct {
 	timeouts    int64
 	panics      int64
 
+	// traceTruncated counts traced or explained runs whose recorder hit
+	// its event cap — responses flagged trace_truncated on the wire.
+	traceTruncated int64
+
 	optRequests    int64
 	optEvaluations int64
 	optCacheServed int64
@@ -165,6 +169,16 @@ func (m *metrics) optimizeSnapshot() (requests, evals, served int64) {
 }
 func (m *metrics) addTimeout() { m.mu.Lock(); m.timeouts++; m.mu.Unlock() }
 func (m *metrics) addPanic()   { m.mu.Lock(); m.panics++; m.mu.Unlock() }
+
+// addTraceTruncated records one traced run clipped by the event cap.
+func (m *metrics) addTraceTruncated() { m.mu.Lock(); m.traceTruncated++; m.mu.Unlock() }
+
+// traceTruncatedSnapshot returns the truncated-trace count (tests).
+func (m *metrics) traceTruncatedSnapshot() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.traceTruncated
+}
 
 // panicsSnapshot returns the recovered-panic count (tests).
 func (m *metrics) panicsSnapshot() int64 {
@@ -304,6 +318,9 @@ func (m *metrics) writePrometheus(w io.Writer, queueDepth, cacheEntries int, cac
 	fmt.Fprintln(w, "# HELP simd_panics_total Handler panics recovered into 500 responses.")
 	fmt.Fprintln(w, "# TYPE simd_panics_total counter")
 	fmt.Fprintf(w, "simd_panics_total %d\n", m.panics)
+	fmt.Fprintln(w, "# HELP simd_trace_truncated_total Traced or explained runs whose trace hit the event cap and was clipped.")
+	fmt.Fprintln(w, "# TYPE simd_trace_truncated_total counter")
+	fmt.Fprintf(w, "simd_trace_truncated_total %d\n", m.traceTruncated)
 	fmt.Fprintln(w, "# HELP simd_queue_depth Callers waiting for an engine slot.")
 	fmt.Fprintln(w, "# TYPE simd_queue_depth gauge")
 	fmt.Fprintf(w, "simd_queue_depth %d\n", queueDepth)

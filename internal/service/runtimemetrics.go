@@ -1,0 +1,117 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	runtimemetrics "runtime/metrics"
+)
+
+// goMetricSamples are the runtime/metrics the daemon re-exports. Fixed
+// set, fixed order: the scrape output must be schema-stable.
+var goMetricSamples = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/sched/pauses/total/gc:seconds",
+}
+
+// goPauseBuckets is the fixed exposition ladder for GC pause times, in
+// seconds. The runtime's own histogram has hundreds of variable-width
+// buckets; re-bucketing onto a stable ladder keeps the scrape small and
+// the series comparable across Go versions.
+var goPauseBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1,
+}
+
+// writeGoMetrics renders the daemon's Go runtime self-metrics
+// (simd_go_* families) in Prometheus text format. Values are sampled at
+// scrape time via runtime/metrics; the families are observability-only
+// and never feed back into serving decisions.
+func writeGoMetrics(w io.Writer) {
+	samples := make([]runtimemetrics.Sample, len(goMetricSamples))
+	for i, name := range goMetricSamples {
+		samples[i].Name = name
+	}
+	runtimemetrics.Read(samples)
+
+	fmt.Fprintln(w, "# HELP simd_go_goroutines Live goroutines in the daemon process.")
+	fmt.Fprintln(w, "# TYPE simd_go_goroutines gauge")
+	fmt.Fprintf(w, "simd_go_goroutines %d\n", uintValue(samples[0]))
+
+	fmt.Fprintln(w, "# HELP simd_go_heap_objects_bytes Bytes of live heap objects (runtime/metrics /memory/classes/heap/objects).")
+	fmt.Fprintln(w, "# TYPE simd_go_heap_objects_bytes gauge")
+	fmt.Fprintf(w, "simd_go_heap_objects_bytes %d\n", uintValue(samples[1]))
+
+	fmt.Fprintln(w, "# HELP simd_go_gc_pause_seconds Stop-the-world GC pause durations since process start, re-bucketed onto a fixed ladder.")
+	fmt.Fprintln(w, "# TYPE simd_go_gc_pause_seconds histogram")
+	writeRebucketed(w, "simd_go_gc_pause_seconds", samples[2])
+}
+
+// uintValue extracts a scalar sample, tolerating kind changes across Go
+// versions (a missing metric renders as 0 rather than panicking a
+// scrape).
+func uintValue(s runtimemetrics.Sample) uint64 {
+	switch s.Value.Kind() {
+	case runtimemetrics.KindUint64:
+		return s.Value.Uint64()
+	case runtimemetrics.KindFloat64:
+		return uint64(s.Value.Float64())
+	default:
+		return 0
+	}
+}
+
+// writeRebucketed folds a runtime/metrics histogram onto the fixed
+// goPauseBuckets ladder. Each runtime bucket's count lands in the first
+// exposition bucket whose bound covers the runtime bucket's upper edge;
+// the _sum line approximates using bucket midpoints, which is what any
+// histogram consumer does anyway.
+func writeRebucketed(w io.Writer, family string, s runtimemetrics.Sample) {
+	cum := make([]uint64, len(goPauseBuckets))
+	var inf, count uint64
+	var sum float64
+	if s.Value.Kind() == runtimemetrics.KindFloat64Histogram {
+		h := s.Value.Float64Histogram()
+		for i, c := range h.Counts {
+			if c == 0 {
+				continue
+			}
+			lo, hi := h.Buckets[i], h.Buckets[i+1]
+			count += c
+			mid := midpoint(lo, hi)
+			sum += mid * float64(c)
+			placed := false
+			for j, ub := range goPauseBuckets {
+				if hi <= ub {
+					cum[j] += c
+					placed = true
+					break
+				}
+			}
+			if !placed {
+				inf += c
+			}
+		}
+	}
+	var running uint64
+	for j, ub := range goPauseBuckets {
+		running += cum[j]
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", family, ub, running)
+	}
+	running += inf
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", family, running)
+	fmt.Fprintf(w, "%s_sum %g\n", family, sum)
+	fmt.Fprintf(w, "%s_count %d\n", family, count)
+}
+
+// midpoint picks a representative value inside a runtime histogram
+// bucket, clamping the infinite edge buckets.
+func midpoint(lo, hi float64) float64 {
+	const inf = 1e308
+	if lo < -inf {
+		lo = 0
+	}
+	if hi > inf {
+		hi = lo
+	}
+	return (lo + hi) / 2
+}

@@ -272,8 +272,11 @@ func (s *Service) Simulate(ctx context.Context, req SimulateRequest) ([]byte, Ca
 // flag.
 type tracedResponse struct {
 	core.ResultJSON
-	Trace          json.RawMessage `json:"trace"`
-	TraceTruncated bool            `json:"trace_truncated,omitempty"`
+	Trace json.RawMessage `json:"trace"`
+	// TraceTruncated is always present on traced responses (no
+	// omitempty): a clipped trace silently corrupts any attribution
+	// built on it, so clients must be able to see "false" and trust it.
+	TraceTruncated bool `json:"trace_truncated"`
 }
 
 // SimulateTraced serves one traced point. Tracing changes the serving
@@ -330,6 +333,10 @@ func (s *Service) SimulateTraced(ctx context.Context, req SimulateRequest) ([]by
 	if plain, err := json.Marshal(result); err == nil {
 		s.cacheAdd(key, plain)
 	}
+	if rec.Truncated() {
+		s.met.addTraceTruncated()
+	}
+	result.TraceTruncated = rec.Truncated()
 	var tb bytes.Buffer
 	if err := rec.WriteChrome(&tb); err != nil {
 		return nil, err

@@ -13,12 +13,16 @@ var svgPalette = []string{
 	"#ff7f0e", "#8c564b", "#17becf", "#7f7f7f",
 }
 
-// WriteSVG renders the figure as a standalone SVG line chart: one
-// polyline with point markers per series, linear axes with rounded
-// ticks, and a legend. Output is deterministic for a given figure.
+// WriteSVG renders the figure as a standalone SVG: by default a line
+// chart (one polyline with point markers per series, linear axes with
+// rounded ticks, a legend); with Stacked set, stacked bars at
+// categorical x positions. Output is deterministic for a given figure.
 func (f *Figure) WriteSVG(w io.Writer, width, height int) error {
 	if width < 200 || height < 150 {
 		return fmt.Errorf("table: svg canvas %dx%d too small", width, height)
+	}
+	if f.Stacked {
+		return f.writeStackedSVG(w, width, height)
 	}
 	minX, maxX := math.Inf(1), math.Inf(-1)
 	minY, maxY := math.Inf(1), math.Inf(-1)
@@ -122,6 +126,108 @@ func (f *Figure) WriteSVG(w io.Writer, width, height int) error {
 			lx-160, y, lx-140, y, color)
 		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" dominant-baseline="middle">%s</text>`+"\n",
 			lx-135, y, xmlEscape(s.Label))
+	}
+
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeStackedSVG renders stacked bars: one bar per x-grid value at
+// equal categorical spacing, the series' (non-negative) values piled
+// bottom-to-top in declaration order. The y axis runs from zero to the
+// tallest bar, so when the series are an exhaustive attribution the
+// bars visibly tile the total.
+func (f *Figure) writeStackedSVG(w io.Writer, width, height int) error {
+	xs := f.xGrid()
+	if len(xs) == 0 {
+		return fmt.Errorf("table: figure %s has no points", f.ID)
+	}
+	maxY := 0.0
+	for _, x := range xs {
+		sum := 0.0
+		for _, s := range f.Series {
+			if y, ok := s.valueAt(x); ok && y > 0 {
+				sum += y
+			}
+		}
+		maxY = math.Max(maxY, sum)
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+
+	const (
+		marginL = 62
+		marginR = 16
+		marginT = 34
+		marginB = 56
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+	baseY := float64(height - marginB)
+	slot := plotW / float64(len(xs))
+	barW := math.Min(slot*0.7, 48)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif" font-size="11">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="18" font-size="13" font-weight="bold">Figure %s: %s</text>`+"\n",
+		marginL, xmlEscape(f.ID), xmlEscape(f.Title))
+
+	// Axes and y ticks with gridlines.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, height-marginB)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginL, height-marginB, width-marginR, height-marginB)
+	for _, t := range ticks(0, maxY, 6) {
+		y := baseY - t/maxY*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="black"/>`+"\n",
+			marginL-4, y, marginL, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginL-7, y, trimFloat(t))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#dddddd"/>`+"\n",
+			marginL, y, width-marginR, y)
+	}
+
+	// Bars, bottom-up in series declaration order.
+	for xi, x := range xs {
+		cx := float64(marginL) + (float64(xi)+0.5)*slot
+		cursor := 0.0
+		for si, s := range f.Series {
+			y, ok := s.valueAt(x)
+			if !ok || y <= 0 {
+				continue
+			}
+			h := y / maxY * plotH
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s @ %s: %s</title></rect>`+"\n",
+				cx-barW/2, baseY-cursor-h, barW, h, svgPalette[si%len(svgPalette)],
+				xmlEscape(s.Label), trimFloat(x), trimFloat(y))
+			cursor += h
+		}
+		// Rotated category label under the bar.
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="end" transform="rotate(-45 %.1f %.1f)">%s</text>`+"\n",
+			cx, baseY+14, cx, baseY+14, trimFloat(x))
+	}
+
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+		float64(marginL)+plotW/2, height-6, xmlEscape(f.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2, xmlEscape(f.YLabel))
+
+	// Legend, top-right inside the plot; reverse declaration order so
+	// the legend's top entry matches the bar's top segment.
+	lx := float64(width-marginR) - 10
+	ly := float64(marginT) + 6
+	for row, si := 0, len(f.Series)-1; si >= 0; row, si = row+1, si-1 {
+		color := svgPalette[si%len(svgPalette)]
+		y := ly + float64(row)*15
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="12" height="8" fill="%s"/>`+"\n",
+			lx-160, y-4, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" dominant-baseline="middle">%s</text>`+"\n",
+			lx-144, y, xmlEscape(f.Series[si].Label))
 	}
 
 	b.WriteString("</svg>\n")

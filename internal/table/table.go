@@ -31,6 +31,11 @@ type Figure struct {
 	XLabel string
 	YLabel string
 	Series []*Series
+	// Stacked renders the SVG as stacked bars: at each x the series'
+	// values pile up bottom-to-top in declaration order, so the bar
+	// height is their sum (an attribution figure's conservation
+	// identity made visible). CSV and text renderings are unchanged.
+	Stacked bool
 }
 
 // AddSeries creates, attaches and returns a new labelled series.

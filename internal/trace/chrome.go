@@ -28,7 +28,8 @@ const usPerMs = 1000.0
 // WriteChrome exports the trace as Chrome trace-event JSON: one thread
 // track per registered track (the CPU plus one per disk), "X" complete
 // events for phase and CPU intervals, async "b"/"e" pairs for prefetch
-// spans, and a "C" counter series for cache occupancy. The output loads
+// spans, and "C" counter series for cache occupancy and per-disk queue
+// depth. The output loads
 // directly into Perfetto (ui.perfetto.dev) or chrome://tracing.
 //
 // The byte stream is deterministic: events are emitted in record order,
@@ -48,11 +49,15 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 		})
 	}
 	for _, s := range r.CPUSpans() {
-		enc.emit(chromeEvent{
+		ev := chromeEvent{
 			Name: s.Kind.String(), Cat: "cpu", Ph: "X",
 			Ts: float64(s.Start) * usPerMs, Dur: float64(s.End-s.Start) * usPerMs,
 			Tid: CPUTrack,
-		})
+		}
+		if s.Kind == CPUStall && s.Run >= 0 {
+			ev.Args = map[string]any{"run": s.Run}
+		}
+		enc.emit(ev)
 	}
 	for i, s := range r.PrefetchSpans() {
 		enc.emit(chromeEvent{
@@ -70,6 +75,13 @@ func (r *Recorder) WriteChrome(w io.Writer) error {
 			Name: "cache occupancy", Ph: "C",
 			Ts: float64(s.At) * usPerMs, Tid: CPUTrack,
 			Args: map[string]any{"blocks": s.Occupied},
+		})
+	}
+	for _, s := range r.QueueSamples() {
+		enc.emit(chromeEvent{
+			Name: "queue depth", Ph: "C",
+			Ts: float64(s.At) * usPerMs, Tid: s.Track,
+			Args: map[string]any{"requests": s.Depth},
 		})
 	}
 	for _, m := range r.Marks() {

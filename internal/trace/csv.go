@@ -9,16 +9,23 @@ import (
 	"repro/internal/sim"
 )
 
+// TruncatedMark is the name of the sentinel mark row WriteCSV appends
+// when the recorder hit its event cap, so a reader of the flat export
+// (ReadCSV included) can tell a complete timeline from a clipped one.
+const TruncatedMark = "trace-truncated"
+
 // WriteCSV exports the trace as a flat time-series with one row per
 // event, sorted by start time (ties keep record order within and across
 // categories via a stable sort over a fixed category order):
 //
 //	kind,track,name,start_ms,end_ms,value
 //
-// kind ∈ {disk, cpu, prefetch, cache, mark}; instantaneous rows carry
-// start_ms == end_ms; value is the prefetch block count or the cache
-// occupancy, empty otherwise. The byte stream is deterministic for a
-// fixed (config, seed).
+// kind ∈ {disk, cpu, prefetch, cache, queue, mark}; instantaneous rows
+// carry start_ms == end_ms; value is the prefetch block count, the
+// cache occupancy, the queue depth, or — on cpu stall rows — the demand
+// run the CPU was blocked on, empty otherwise. A truncated trace ends
+// with a sentinel "mark" row named by TruncatedMark. The byte stream is
+// deterministic for a fixed (config, seed).
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	type row struct {
 		start  sim.Time
@@ -31,8 +38,12 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 			"disk", r.TrackName(s.Track), s.Phase.String(), ms(s.Start), ms(s.End), ""}})
 	}
 	for _, s := range r.CPUSpans() {
+		val := ""
+		if s.Kind == CPUStall && s.Run >= 0 {
+			val = strconv.Itoa(s.Run)
+		}
 		rows = append(rows, row{s.Start, []string{
-			"cpu", r.TrackName(CPUTrack), s.Kind.String(), ms(s.Start), ms(s.End), ""}})
+			"cpu", r.TrackName(CPUTrack), s.Kind.String(), ms(s.Start), ms(s.End), val}})
 	}
 	for _, s := range r.PrefetchSpans() {
 		rows = append(rows, row{s.Issued, []string{
@@ -42,6 +53,10 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	for _, s := range r.CacheSamples() {
 		rows = append(rows, row{s.At, []string{
 			"cache", "cache", "occupancy", ms(s.At), ms(s.At), strconv.Itoa(s.Occupied)}})
+	}
+	for _, s := range r.QueueSamples() {
+		rows = append(rows, row{s.At, []string{
+			"queue", r.TrackName(s.Track), "depth", ms(s.At), ms(s.At), strconv.Itoa(s.Depth)}})
 	}
 	for _, m := range r.Marks() {
 		rows = append(rows, row{m.At, []string{
@@ -55,6 +70,15 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	}
 	for _, rw := range rows {
 		if err := cw.Write(rw.fields); err != nil {
+			return err
+		}
+	}
+	if r.Truncated() {
+		last := "0"
+		if n := len(rows); n > 0 {
+			last = rows[n-1].fields[3]
+		}
+		if err := cw.Write([]string{"mark", r.TrackName(CPUTrack), TruncatedMark, last, last, ""}); err != nil {
 			return err
 		}
 	}

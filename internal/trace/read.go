@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// ReadCSV reconstructs a Recorder from a WriteCSV export, so trace
+// analytics (internal/explain, cmd/traceq) can run on a saved trace
+// file as well as on a live in-process recorder. The reconstruction is
+// faithful for everything the analytics consume: spans, samples, marks,
+// track names, and the truncated flag (restored from the sentinel
+// TruncatedMark row). Record order within each category follows file
+// order, which WriteCSV made chronological.
+func ReadCSV(rd io.Reader) (*Recorder, error) {
+	cr := csv.NewReader(rd)
+	cr.FieldsPerRecord = 6
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace csv: read header: %w", err)
+	}
+	if header[0] != "kind" || header[3] != "start_ms" {
+		return nil, fmt.Errorf("trace csv: unexpected header %q", strings.Join(header, ","))
+	}
+
+	// The cap guards live recording, not reconstruction: a file that was
+	// written under a larger-than-default cap must reload whole, so give
+	// the reader effectively unbounded headroom.
+	r := New(1 << 30)
+	tracks := map[string]int{}
+	trackID := func(name string) int {
+		if id, ok := tracks[name]; ok {
+			return id
+		}
+		// The engine registers "cpu" as track 0, input "disk N" at 1+N
+		// and output "write N" after the input range; recover ids that
+		// preserve that ordering so analytics sort tracks exactly as
+		// they would on a live recorder. Exact write-track ids are not
+		// recoverable from the name alone (they depend on D), so writes
+		// land in a high band that keeps index order; other unknown
+		// names follow in encounter order.
+		id := -1
+		if name == "cpu" {
+			id = CPUTrack
+		} else if n, ok := strings.CutPrefix(name, "disk "); ok {
+			if d, err := strconv.Atoi(n); err == nil && d >= 0 {
+				id = CPUTrack + 1 + d
+			}
+		} else if n, ok := strings.CutPrefix(name, "write "); ok {
+			if d, err := strconv.Atoi(n); err == nil && d >= 0 {
+				id = 1<<20 + d
+			}
+		}
+		if id < 0 {
+			id = 2<<20 + len(tracks)
+		}
+		tracks[name] = id
+		r.Track(id, name)
+		return id
+	}
+	phases := map[string]Phase{}
+	for p := PhaseSeek; p <= PhaseOutage; p++ {
+		phases[p.String()] = p
+	}
+
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace csv: line %d: %w", line, err)
+		}
+		kind, track, name, val := rec[0], rec[1], rec[2], rec[5]
+		start, err := strconv.ParseFloat(rec[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace csv: line %d: start_ms %q: %w", line, rec[3], err)
+		}
+		end, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace csv: line %d: end_ms %q: %w", line, rec[4], err)
+		}
+		s, e := sim.Time(start), sim.Time(end)
+		switch kind {
+		case "disk":
+			p, ok := phases[name]
+			if !ok {
+				return nil, fmt.Errorf("trace csv: line %d: unknown disk phase %q", line, name)
+			}
+			r.DiskPhase(trackID(track), p, s, e)
+		case "cpu":
+			switch name {
+			case "compute":
+				trackID(track)
+				r.CPUSpan(CPUCompute, s, e)
+			case "stall":
+				trackID(track)
+				run := -1
+				if val != "" {
+					if run, err = strconv.Atoi(val); err != nil {
+						return nil, fmt.Errorf("trace csv: line %d: stall run %q: %w", line, val, err)
+					}
+				}
+				r.CPUStallOn(run, s, e)
+			default:
+				return nil, fmt.Errorf("trace csv: line %d: unknown cpu span %q", line, name)
+			}
+		case "prefetch":
+			run, ok := strings.CutPrefix(name, "run ")
+			if !ok {
+				return nil, fmt.Errorf("trace csv: line %d: prefetch name %q", line, name)
+			}
+			rn, err := strconv.Atoi(run)
+			if err != nil {
+				return nil, fmt.Errorf("trace csv: line %d: prefetch run %q: %w", line, run, err)
+			}
+			blocks, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("trace csv: line %d: prefetch blocks %q: %w", line, val, err)
+			}
+			r.Prefetch(trackID(track), rn, blocks, s, e)
+		case "cache":
+			occ, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("trace csv: line %d: cache occupancy %q: %w", line, val, err)
+			}
+			r.CacheSample(s, occ)
+		case "queue":
+			depth, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("trace csv: line %d: queue depth %q: %w", line, val, err)
+			}
+			r.QueueSample(trackID(track), s, depth)
+		case "mark":
+			if name == TruncatedMark {
+				r.truncated = true
+				continue
+			}
+			r.Mark(trackID(track), name, s)
+		default:
+			return nil, fmt.Errorf("trace csv: line %d: unknown kind %q", line, kind)
+		}
+	}
+	return r, nil
+}

@@ -90,9 +90,14 @@ type DiskSpan struct {
 	End   sim.Time
 }
 
-// CPUSpan is one compute or stall interval of the merge CPU.
+// CPUSpan is one compute or stall interval of the merge CPU. Run
+// identifies the demand run the CPU was blocked on for stall spans
+// recorded through CPUStallOn; it is -1 for compute spans and for
+// stalls with no single blocking run (the initial load waits on every
+// run at once).
 type CPUSpan struct {
 	Kind  CPUKind
+	Run   int
 	Start sim.Time
 	End   sim.Time
 }
@@ -112,6 +117,16 @@ type PrefetchSpan struct {
 type CacheSample struct {
 	At       sim.Time
 	Occupied int
+}
+
+// QueueSample is one disk's queue depth (requests waiting, excluding
+// the one in service) at one instant; samples are taken on every
+// enqueue and every dispatch, so the series is a complete step
+// function of the queue's evolution.
+type QueueSample struct {
+	Track int
+	At    sim.Time
+	Depth int
 }
 
 // Mark is one named instant event on a track (process starts, fault
@@ -150,6 +165,7 @@ type Recorder struct {
 	cpu      []CPUSpan
 	prefetch []PrefetchSpan
 	cache    []CacheSample
+	queue    []QueueSample
 	marks    []Mark
 }
 
@@ -195,12 +211,28 @@ func (r *Recorder) DiskPhase(track int, phase Phase, start, end sim.Time) {
 	r.disk = append(r.disk, DiskSpan{Track: track, Phase: phase, Start: start, End: end})
 }
 
-// CPUSpan records one compute or stall interval.
+// CPUSpan records one compute or stall interval with no blocking-run
+// identity (Run = -1).
 func (r *Recorder) CPUSpan(kind CPUKind, start, end sim.Time) {
 	if r == nil || end <= start || !r.admit() {
 		return
 	}
-	r.cpu = append(r.cpu, CPUSpan{Kind: kind, Start: start, End: end})
+	r.cpu = append(r.cpu, CPUSpan{Kind: kind, Run: -1, Start: start, End: end})
+}
+
+// CPUStallOn records one stall interval attributed to the demand run
+// the CPU was blocked on — the identity the explain layer intersects
+// with in-flight prefetch spans to name the blocking disk. run < 0
+// means no single run (equivalent to CPUSpan(CPUStall, ...)).
+func (r *Recorder) CPUStallOn(run int, start, end sim.Time) {
+	if r == nil || end <= start || !r.admit() {
+		return
+	}
+	if run < 0 {
+		run = -1
+	}
+	//detlint:allow hotalloc tracing-enabled runs only; the zero-alloc path carries a nil recorder
+	r.cpu = append(r.cpu, CPUSpan{Kind: CPUStall, Run: run, Start: start, End: end})
 }
 
 // Prefetch records one fetch span: issued when the engine submitted the
@@ -218,6 +250,15 @@ func (r *Recorder) CacheSample(at sim.Time, occupied int) {
 		return
 	}
 	r.cache = append(r.cache, CacheSample{At: at, Occupied: occupied})
+}
+
+// QueueSample records one disk track's queue depth at one instant.
+func (r *Recorder) QueueSample(track int, at sim.Time, depth int) {
+	if r == nil || !r.admit() {
+		return
+	}
+	//detlint:allow hotalloc tracing-enabled runs only; the zero-alloc path carries a nil recorder
+	r.queue = append(r.queue, QueueSample{Track: track, At: at, Depth: depth})
 }
 
 // Mark records a named instant on a track.
@@ -303,6 +344,15 @@ func (r *Recorder) CacheSamples() []CacheSample {
 		return nil
 	}
 	return r.cache
+}
+
+// QueueSamples returns the recorded queue-depth samples in record
+// order.
+func (r *Recorder) QueueSamples() []QueueSample {
+	if r == nil {
+		return nil
+	}
+	return r.queue
 }
 
 // Marks returns the recorded instant events in record order.
